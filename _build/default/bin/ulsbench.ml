@@ -1,0 +1,111 @@
+(* Command-line driver for the reproduction: run paper experiments or
+   one-off micro-benchmarks on the simulated testbed. *)
+
+open Cmdliner
+
+let stack_conv =
+  let parse = function
+    | "emp" -> Ok `Emp
+    | "tcp" -> Ok `Tcp
+    | "tcp-tuned" -> Ok `Tcp_tuned
+    | "ds" -> Ok `Ds
+    | "ds-base" -> Ok `Ds_base
+    | "dg" -> Ok `Dg
+    | s -> Error (`Msg (Printf.sprintf "unknown stack %S" s))
+  in
+  let print fmt s =
+    Format.pp_print_string fmt
+      (match s with
+      | `Emp -> "emp"
+      | `Tcp -> "tcp"
+      | `Tcp_tuned -> "tcp-tuned"
+      | `Ds -> "ds"
+      | `Ds_base -> "ds-base"
+      | `Dg -> "dg")
+  in
+  Arg.conv (parse, print)
+
+let kind_of_stack = function
+  | `Emp -> Uls_bench.Microbench.Emp_raw
+  | `Tcp -> Uls_bench.Microbench.Tcp Uls_tcp.Config.default
+  | `Tcp_tuned ->
+    Uls_bench.Microbench.Tcp Uls_tcp.Config.(with_buffers default 262_144)
+  | `Ds -> Uls_bench.Microbench.Sub Uls_substrate.Options.data_streaming_enhanced
+  | `Ds_base -> Uls_bench.Microbench.Sub Uls_substrate.Options.data_streaming
+  | `Dg -> Uls_bench.Microbench.Sub Uls_substrate.Options.datagram
+
+(* --- figures ----------------------------------------------------------- *)
+
+let figures_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT"
+           ~doc:"Experiment ids (fig11..fig17, connect, abl-*). Default: all.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller sweeps, faster run.")
+  in
+  let run ids quick =
+    let tables =
+      match ids with
+      | [] -> Uls_bench.Experiments.all ~quick ()
+      | ids ->
+        List.map
+          (fun id ->
+            match List.assoc_opt id Uls_bench.Experiments.by_id with
+            | Some f -> f ~quick ()
+            | None -> failwith (Printf.sprintf "unknown experiment %S" id))
+          ids
+    in
+    List.iter (Uls_bench.Table.print Format.std_formatter) tables
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run $ ids $ quick)
+
+(* --- one-off latency/bandwidth ----------------------------------------- *)
+
+let latency_cmd =
+  let stack =
+    Arg.(value & opt stack_conv `Ds & info [ "stack" ] ~docv:"STACK"
+           ~doc:"emp | tcp | tcp-tuned | ds | ds-base | dg")
+  in
+  let size =
+    Arg.(value & opt int 4 & info [ "size" ] ~docv:"BYTES" ~doc:"Message size.")
+  in
+  let iters = Arg.(value & opt int 30 & info [ "iters" ] ~doc:"Iterations.") in
+  let run stack size iters =
+    let us =
+      Uls_bench.Microbench.ping_pong ~iters ~kind:(kind_of_stack stack) ~size ()
+    in
+    Printf.printf "%d-byte one-way latency: %.2f us\n" size us
+  in
+  Cmd.v
+    (Cmd.info "latency" ~doc:"Ping-pong one-way latency on a 2-node cluster")
+    Term.(const run $ stack $ size $ iters)
+
+let bandwidth_cmd =
+  let stack =
+    Arg.(value & opt stack_conv `Ds & info [ "stack" ] ~docv:"STACK"
+           ~doc:"emp | tcp | tcp-tuned | ds | ds-base | dg")
+  in
+  let msg =
+    Arg.(value & opt int 65_536 & info [ "msg" ] ~docv:"BYTES" ~doc:"Message size.")
+  in
+  let total =
+    Arg.(value & opt int (16 * 1024 * 1024) & info [ "total" ] ~docv:"BYTES"
+           ~doc:"Total bytes to stream.")
+  in
+  let run stack msg total =
+    let mbps =
+      Uls_bench.Microbench.bandwidth ~total ~kind:(kind_of_stack stack) ~msg ()
+    in
+    Printf.printf "stream bandwidth (%d-byte messages): %.1f Mb/s\n" msg mbps
+  in
+  Cmd.v
+    (Cmd.info "bandwidth" ~doc:"Unidirectional stream bandwidth")
+    Term.(const run $ stack $ msg $ total)
+
+let () =
+  let doc = "Sockets-over-EMP reproduction benchmarks (simulated testbed)" in
+  let info = Cmd.info "ulsbench" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ figures_cmd; latency_cmd; bandwidth_cmd ]))

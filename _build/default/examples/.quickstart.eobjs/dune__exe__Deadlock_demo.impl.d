@@ -1,0 +1,1 @@
+examples/deadlock_demo.ml: Format Sim String Time Uls_api Uls_bench Uls_engine Uls_substrate

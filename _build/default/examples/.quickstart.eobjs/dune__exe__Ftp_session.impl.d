@@ -1,0 +1,1 @@
+examples/ftp_session.ml: Format List Sim String Time Uls_api Uls_apps Uls_bench Uls_engine Uls_substrate

@@ -1,0 +1,1 @@
+examples/loss_injection.ml: Buffer Char Format Printf Rng Sim String Time Uls_api Uls_bench Uls_emp Uls_engine Uls_ether Uls_substrate

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Sim String Time Uls_api Uls_bench Uls_engine Uls_substrate

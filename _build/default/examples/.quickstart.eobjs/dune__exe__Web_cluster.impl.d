@@ -1,0 +1,1 @@
+examples/web_cluster.ml: Format List Printf Sim Time Uls_apps Uls_bench Uls_engine Uls_substrate

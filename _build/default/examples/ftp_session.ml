@@ -1,0 +1,61 @@
+(* FTP over RAM disks (the paper's §7.3 application): list, fetch and
+   store files between two nodes, over the substrate and over TCP.
+
+   Run with: dune exec examples/ftp_session.exe *)
+
+open Uls_engine
+
+let session name make_api =
+  Format.printf "--- ftp over %s ---@." name;
+  let cluster = Uls_bench.Cluster.create ~n:2 () in
+  let api = make_api cluster in
+  let sim = Uls_bench.Cluster.sim cluster in
+  let server_disk = Uls_apps.Ramdisk.create (Uls_bench.Cluster.node cluster 1) in
+  let client_disk = Uls_apps.Ramdisk.create (Uls_bench.Cluster.node cluster 0) in
+  Uls_apps.Ramdisk.create_random server_disk ~name:"kernel.tar" ~size:1_048_576
+    ~seed:7;
+  Uls_apps.Ramdisk.create_random server_disk ~name:"paper.ps" ~size:262_144
+    ~seed:8;
+  Uls_apps.Ramdisk.create_random client_disk ~name:"results.dat" ~size:524_288
+    ~seed:9;
+  Sim.spawn sim ~name:"ftp-server"
+    (Uls_apps.Ftp.server sim api ~node:1 ~port:21 ~disk:server_disk);
+  Sim.spawn sim ~name:"ftp-client" (fun () ->
+      Sim.delay sim (Time.us 100);
+      let server = { Uls_api.Sockets_api.node = 1; port = 21 } in
+      let files = Uls_apps.Ftp.remote_list api ~node:0 ~server in
+      Format.printf "remote files: %s@." (String.concat ", " files);
+      List.iter
+        (fun file ->
+          let tr = Uls_apps.Ftp.fetch sim api ~node:0 ~server ~file ~disk:client_disk in
+          Format.printf "RETR %-12s %8d bytes in %a (%.1f Mb/s)@." file
+            tr.Uls_apps.Ftp.bytes Time.pp tr.Uls_apps.Ftp.elapsed
+            (Time.mbps ~bytes_transferred:tr.Uls_apps.Ftp.bytes
+               ~elapsed:tr.Uls_apps.Ftp.elapsed))
+        files;
+      let tr =
+        Uls_apps.Ftp.store sim api ~node:0 ~server ~file:"results.dat"
+          ~disk:client_disk
+      in
+      Format.printf "STOR %-12s %8d bytes in %a (%.1f Mb/s)@." "results.dat"
+        tr.Uls_apps.Ftp.bytes Time.pp tr.Uls_apps.Ftp.elapsed
+        (Time.mbps ~bytes_transferred:tr.Uls_apps.Ftp.bytes
+           ~elapsed:tr.Uls_apps.Ftp.elapsed);
+      (* Data integrity check across the whole protocol stack. *)
+      assert (
+        Uls_apps.Ramdisk.size client_disk "kernel.tar"
+        = Uls_apps.Ramdisk.size server_disk "kernel.tar");
+      assert (
+        Uls_apps.Ramdisk.read client_disk ~name:"kernel.tar" ~off:0 ~len:64
+        = Uls_apps.Ramdisk.read server_disk ~name:"kernel.tar" ~off:0 ~len:64);
+      Format.printf "integrity checks passed@.@.";
+      Sim.stop sim);
+  ignore (Uls_bench.Cluster.run cluster)
+
+let () =
+  session "sockets-over-EMP (DS)"
+    (Uls_bench.Cluster.substrate_api
+       ~opts:Uls_substrate.Options.data_streaming_enhanced);
+  session "sockets-over-EMP (DG)"
+    (Uls_bench.Cluster.substrate_api ~opts:Uls_substrate.Options.datagram);
+  session "kernel TCP" (fun c -> Uls_bench.Cluster.tcp_api c)

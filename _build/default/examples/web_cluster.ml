@@ -1,0 +1,58 @@
+(* The paper's §7.4 web-server workload: one server, three clients on a
+   four-node cluster; 16-byte requests, fixed-size responses, HTTP/1.0
+   (connection per request) vs HTTP/1.1 (8 requests per connection).
+
+   Run with: dune exec examples/web_cluster.exe *)
+
+open Uls_engine
+
+let run name make_api ~requests_per_conn =
+  let cluster = Uls_bench.Cluster.create ~n:4 () in
+  let api = make_api cluster in
+  let sim = Uls_bench.Cluster.sim cluster in
+  let response_size = 1024 in
+  Sim.spawn sim ~name:"web-server"
+    (Uls_apps.Http.server sim api ~node:0 ~port:80 ~response_size
+       ~requests_per_conn);
+  let finished = ref 0 in
+  let total_mean = ref 0. in
+  for client = 1 to 3 do
+    Sim.spawn sim ~name:(Printf.sprintf "client-%d" client) (fun () ->
+        Sim.delay sim (Time.us (100 * client));
+        let r =
+          Uls_apps.Http.client sim api ~node:client
+            ~server:{ node = 0; port = 80 } ~response_size ~requests_per_conn
+            ~connections:25
+        in
+        total_mean := !total_mean +. r.Uls_apps.Http.mean_response_time;
+        incr finished;
+        if !finished = 3 then Sim.stop sim)
+  done;
+  ignore (Uls_bench.Cluster.run cluster);
+  Format.printf "%-28s %d req/conn: mean response %.1f us@." name
+    requests_per_conn
+    (!total_mean /. 3. /. 1_000.)
+
+let () =
+  let stacks =
+    [
+      ( "sockets-over-EMP (DS)",
+        Uls_bench.Cluster.substrate_api
+          ~opts:
+            { Uls_substrate.Options.data_streaming_enhanced with credits = 4 } );
+      ( "sockets-over-EMP (DG)",
+        Uls_bench.Cluster.substrate_api
+          ~opts:{ Uls_substrate.Options.datagram with credits = 4 } );
+      ("kernel TCP", fun c -> Uls_bench.Cluster.tcp_api c);
+    ]
+  in
+  Format.printf "HTTP/1.0 (one request per connection):@.";
+  List.iter
+    (fun (n, m) ->
+      run n m ~requests_per_conn:Uls_apps.Http.http10_requests_per_conn)
+    stacks;
+  Format.printf "@.HTTP/1.1 (8 requests per connection):@.";
+  List.iter
+    (fun (n, m) ->
+      run n m ~requests_per_conn:Uls_apps.Http.http11_requests_per_conn)
+    stacks

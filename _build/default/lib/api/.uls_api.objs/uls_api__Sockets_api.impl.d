@@ -1,0 +1,1 @@
+lib/api/sockets_api.ml: Buffer Format String

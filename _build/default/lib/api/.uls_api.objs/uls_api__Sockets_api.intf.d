@@ -1,0 +1,1 @@
+lib/api/sockets_api.mli: Format

@@ -1,0 +1,60 @@
+type addr = {
+  node : int;
+  port : int;
+}
+
+exception Connection_refused of addr
+exception Connection_closed
+exception Bind_in_use of addr
+
+type stream = {
+  send : string -> unit;
+  recv : int -> string;
+  close : unit -> unit;
+  readable : unit -> bool;
+  peer : unit -> addr;
+  local : unit -> addr;
+}
+
+type listener = {
+  accept : unit -> stream * addr;
+  acceptable : unit -> bool;
+  close_listener : unit -> unit;
+}
+
+type stack = {
+  stack_name : string;
+  listen : node:int -> port:int -> backlog:int -> listener;
+  connect : node:int -> addr -> stream;
+  select : node:int -> stream list -> stream list;
+}
+
+let pp_addr fmt a = Format.fprintf fmt "%d:%d" a.node a.port
+
+let recv_exact s n =
+  let buf = Buffer.create n in
+  let rec loop remaining =
+    if remaining = 0 then Buffer.contents buf
+    else begin
+      let chunk = s.recv remaining in
+      if chunk = "" then raise Connection_closed;
+      Buffer.add_string buf chunk;
+      loop (remaining - String.length chunk)
+    end
+  in
+  loop n
+
+let send_string s data = s.send data
+
+let recv_line s =
+  let buf = Buffer.create 64 in
+  let rec loop () =
+    let c = s.recv 1 in
+    if c = "" then raise Connection_closed
+    else if c = "\n" then Buffer.contents buf
+    else begin
+      Buffer.add_string buf c;
+      loop ()
+    end
+  in
+  loop ()

@@ -1,0 +1,62 @@
+(** The stack-agnostic sockets interface.
+
+    Applications (ftp, web server, matrix multiplication, the examples)
+    are written once against {!stack} and run unchanged over the kernel
+    TCP implementation or over the EMP substrate — the OCaml rendering of
+    the paper's claim that existing sockets applications need no changes.
+
+    Semantics follow BSD sockets: [connect]/[accept] yield a full-duplex
+    connection; [send] blocks for flow control and delivers every byte;
+    [recv] blocks for at least one byte and returns [""] at end of
+    stream. Stacks in {e data-streaming} mode give TCP byte-stream
+    semantics (reads may split/merge message boundaries); stacks in
+    {e datagram} mode (paper §6.2) preserve message boundaries: each
+    [recv] returns exactly one message, truncated to the requested
+    length. *)
+
+type addr = {
+  node : int;
+  port : int;
+}
+
+exception Connection_refused of addr
+exception Connection_closed
+exception Bind_in_use of addr
+
+type stream = {
+  send : string -> unit;  (** blocking; delivers the whole string *)
+  recv : int -> string;  (** blocking; 1..n bytes, [""] = end of stream *)
+  close : unit -> unit;
+  readable : unit -> bool;  (** data available: [recv] would not block *)
+  peer : unit -> addr;
+  local : unit -> addr;
+}
+
+type listener = {
+  accept : unit -> stream * addr;  (** blocking *)
+  acceptable : unit -> bool;  (** a connection is waiting *)
+  close_listener : unit -> unit;
+}
+
+type stack = {
+  stack_name : string;
+  listen : node:int -> port:int -> backlog:int -> listener;
+  connect : node:int -> addr -> stream;  (** blocking until established *)
+  select : node:int -> stream list -> stream list;
+  (** Block until at least one stream of the set is readable or closed;
+      returns the ready subset (the paper's matmul server uses this). *)
+}
+
+val pp_addr : Format.formatter -> addr -> unit
+
+val recv_exact : stream -> int -> string
+(** Loop [recv] until exactly [n] bytes arrive.
+    @raise Connection_closed on premature end of stream. *)
+
+val send_string : stream -> string -> unit
+(** Alias of [stream.send], for symmetry. *)
+
+val recv_line : stream -> string
+(** Read up to and excluding a ['\n'] (for the text protocols: ftp
+    control channel, HTTP). Note: byte-at-a-time; control channel only.
+    @raise Connection_closed on end of stream before a newline. *)

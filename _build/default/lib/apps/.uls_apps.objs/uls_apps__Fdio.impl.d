@@ -1,0 +1,1 @@
+lib/apps/fdio.ml: Buffer Hashtbl Ramdisk String Uls_api

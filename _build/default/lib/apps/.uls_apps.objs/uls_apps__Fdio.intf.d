@@ -1,0 +1,1 @@
+lib/apps/fdio.mli: Ramdisk Uls_api

@@ -1,0 +1,1 @@
+lib/apps/ftp.ml: Fdio Fun List Printf Ramdisk String Uls_api Uls_engine

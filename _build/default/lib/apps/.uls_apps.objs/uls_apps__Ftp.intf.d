@@ -1,0 +1,1 @@
+lib/apps/ftp.mli: Ramdisk Uls_api Uls_engine

@@ -1,0 +1,1 @@
+lib/apps/http.ml: List String Uls_api Uls_engine

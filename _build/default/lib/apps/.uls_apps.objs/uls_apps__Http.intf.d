@@ -1,0 +1,1 @@
+lib/apps/http.mli: Uls_api Uls_engine

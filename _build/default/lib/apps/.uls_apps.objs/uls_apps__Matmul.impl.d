@@ -1,0 +1,1 @@
+lib/apps/matmul.ml: Array Bytes Float Int64 List String Uls_api Uls_engine

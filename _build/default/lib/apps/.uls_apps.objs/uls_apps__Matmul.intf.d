@@ -1,0 +1,1 @@
+lib/apps/matmul.mli: Uls_api Uls_engine

@@ -1,0 +1,1 @@
+lib/apps/ramdisk.ml: Bytes Char Cost_model Hashtbl List Node Option String Uls_engine Uls_host

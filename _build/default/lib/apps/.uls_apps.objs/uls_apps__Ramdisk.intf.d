@@ -1,0 +1,1 @@
+lib/apps/ramdisk.mli: Uls_engine Uls_host

@@ -1,0 +1,63 @@
+open Uls_api.Sockets_api
+module Sim = Uls_engine.Sim
+
+let request_bytes = 16
+let http10_requests_per_conn = 1
+let http11_requests_per_conn = 8
+
+let server sim stack ~node ~port ~response_size ~requests_per_conn () =
+  let l = stack.listen ~node ~port ~backlog:16 in
+  let response = String.make response_size 'r' in
+  let serve s () =
+    (try
+       for _ = 1 to requests_per_conn do
+         let req = recv_exact s request_bytes in
+         ignore req;
+         s.send response
+       done
+     with Connection_closed -> ());
+    s.close ()
+  in
+  let rec accept_loop () =
+    let s, _ = l.accept () in
+    (* Concurrent clients (the paper uses three) get their own fiber. *)
+    Sim.spawn sim ~name:"http-conn" (serve s);
+    accept_loop ()
+  in
+  try accept_loop () with Connection_closed -> ()
+
+type client_result = {
+  requests : int;
+  mean_response_time : float;
+  response_times : float list;
+}
+
+let client sim stack ~node ~server ~response_size ~requests_per_conn
+    ~connections =
+  let times = ref [] in
+  let request = String.make request_bytes 'q' in
+  for _ = 1 to connections do
+    let t_conn = Sim.now sim in
+    let s = stack.connect ~node server in
+    let conn_cost = Sim.now sim - t_conn in
+    for r = 1 to requests_per_conn do
+      let t0 = Sim.now sim in
+      s.send request;
+      ignore (recv_exact s response_size);
+      let dt = Sim.now sim - t0 in
+      (* Connection setup is charged to the first request of the
+         connection, matching a response-time measurement taken from
+         "want the object" to "have the object". *)
+      let dt = if r = 1 then dt + conn_cost else dt in
+      times := float_of_int dt :: !times
+    done;
+    s.close ()
+  done;
+  let times_l = List.rev !times in
+  let n = List.length times_l in
+  {
+    requests = n;
+    mean_response_time =
+      (if n = 0 then 0. else List.fold_left ( +. ) 0. times_l /. float_of_int n);
+    response_times = times_l;
+  }

@@ -1,0 +1,41 @@
+(** Web-server workload of §7.4: clients send a 16-byte request (a file
+    name); the server answers with an [S]-byte response. Under
+    HTTP/1.0 the connection closes after one request; HTTP/1.1 allows up
+    to 8 requests per connection. *)
+
+val request_bytes : int
+(** 16, per the paper. *)
+
+val http10_requests_per_conn : int
+val http11_requests_per_conn : int
+
+val server :
+  Uls_engine.Sim.t ->
+  Uls_api.Sockets_api.stack ->
+  node:int ->
+  port:int ->
+  response_size:int ->
+  requests_per_conn:int ->
+  unit ->
+  unit
+(** Accept loop; each connection is served by its own fiber. Runs
+    forever; spawn as a fiber. *)
+
+type client_result = {
+  requests : int;
+  mean_response_time : float;  (** ns, connection setup amortised in *)
+  response_times : float list;  (** per-request, ns *)
+}
+
+val client :
+  Uls_engine.Sim.t ->
+  Uls_api.Sockets_api.stack ->
+  node:int ->
+  server:Uls_api.Sockets_api.addr ->
+  response_size:int ->
+  requests_per_conn:int ->
+  connections:int ->
+  client_result
+(** Issue [connections * requests_per_conn] requests; response time of a
+    request includes its share of connection setup (the first request of
+    each connection carries the whole connect). *)

@@ -1,0 +1,1 @@
+lib/bench/cluster.mli: Uls_api Uls_emp Uls_engine Uls_ether Uls_host Uls_nic Uls_substrate Uls_tcp

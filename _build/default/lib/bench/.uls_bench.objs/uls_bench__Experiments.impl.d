@@ -1,0 +1,1 @@
+lib/bench/experiments.ml: Array Cluster List Microbench Printf Queue Sim String Table Time Uls_api Uls_apps Uls_emp Uls_engine Uls_host Uls_substrate Uls_tcp

@@ -1,0 +1,1 @@
+lib/bench/microbench.ml: Cluster List Memory Queue Sim String Time Uls_api Uls_emp Uls_engine Uls_host Uls_substrate Uls_tcp

@@ -1,0 +1,1 @@
+lib/bench/microbench.mli: Uls_substrate Uls_tcp

@@ -1,0 +1,1 @@
+lib/bench/table.ml: Array Format List Printf String

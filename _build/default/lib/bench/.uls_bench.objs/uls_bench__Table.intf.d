@@ -1,0 +1,1 @@
+lib/bench/table.mli: Format

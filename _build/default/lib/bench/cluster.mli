@@ -1,0 +1,32 @@
+(** Wiring helper: the experimental testbed of §7 — [n] hosts with
+    Tigon2 NICs on one gigabit switch, ready for protocol endpoints. *)
+
+type t
+
+val create : ?model:Uls_host.Cost_model.t -> n:int -> unit -> t
+val sim : t -> Uls_engine.Sim.t
+val model : t -> Uls_host.Cost_model.t
+val network : t -> Uls_ether.Network.t
+val size : t -> int
+val node : t -> int -> Uls_host.Node.t
+val nic : t -> int -> Uls_nic.Tigon.t
+
+val emp : ?config:Uls_emp.Endpoint.config -> t -> int -> Uls_emp.Endpoint.t
+(** Create (and cache) the EMP endpoint of node [i]. The optional config
+    applies only to the first call for that node. *)
+
+val tcp : ?config:Uls_tcp.Config.t -> t -> Uls_tcp.Tcp_stack.t
+(** Create (and cache) kernel TCP stacks on every node of the cluster.
+    Mutually exclusive with {!emp} on the same node: both claim the
+    NIC's receive path. The optional config applies to the first call. *)
+
+val tcp_api : ?config:Uls_tcp.Config.t -> t -> Uls_api.Sockets_api.stack
+
+val substrate : ?opts:Uls_substrate.Options.t -> t -> int -> Uls_substrate.Substrate.t
+(** Create (and cache) the substrate instance of node [i] (implies its
+    EMP endpoint). The optional opts apply to the first call per node. *)
+
+val substrate_api : ?opts:Uls_substrate.Options.t -> t -> Uls_api.Sockets_api.stack
+(** Substrate instances on every node, as a sockets stack. *)
+
+val run : ?until:Uls_engine.Time.ns -> t -> [ `Quiescent | `Time_limit | `Stopped ]

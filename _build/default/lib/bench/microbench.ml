@@ -1,0 +1,186 @@
+(** Micro-benchmark drivers (§7.1–7.2): ping-pong latency and
+    unidirectional stream bandwidth over raw EMP, kernel TCP, or the
+    substrate. Every run builds a fresh two-node cluster, so experiments
+    are independent and deterministic. *)
+
+open Uls_engine
+open Uls_host
+
+type stack_kind =
+  | Emp_raw
+  | Tcp of Uls_tcp.Config.t
+  | Sub of Uls_substrate.Options.t
+
+let kind_name = function
+  | Emp_raw -> "EMP"
+  | Tcp _ -> "TCP"
+  | Sub o -> "sub-" ^ Uls_substrate.Options.mode_name o
+
+(* --- raw EMP --------------------------------------------------------- *)
+
+let emp_ping_pong ~size ~iters ~warmup =
+  let c = Cluster.create ~n:2 () in
+  let e0 = Cluster.emp c 0 and e1 = Cluster.emp c 1 in
+  let sim = Cluster.sim c in
+  let len = max 1 size in
+  let buf0 = Memory.alloc len and buf1 = Memory.alloc len in
+  let latency = ref 0. in
+  Sim.spawn sim ~name:"pong" (fun () ->
+      for _ = 1 to iters + warmup do
+        let r = Uls_emp.Endpoint.post_recv e1 ~src:0 ~tag:7 buf1 ~off:0 ~len:size in
+        ignore (Uls_emp.Endpoint.wait_recv e1 r);
+        let s = Uls_emp.Endpoint.post_send e1 ~dst:0 ~tag:8 buf1 ~off:0 ~len:size in
+        Uls_emp.Endpoint.wait_send e1 s
+      done);
+  Sim.spawn sim ~name:"ping" (fun () ->
+      let sum = ref 0 in
+      for i = 1 to iters + warmup do
+        let t0 = Sim.now sim in
+        let r = Uls_emp.Endpoint.post_recv e0 ~src:1 ~tag:8 buf0 ~off:0 ~len:size in
+        let s = Uls_emp.Endpoint.post_send e0 ~dst:1 ~tag:7 buf0 ~off:0 ~len:size in
+        Uls_emp.Endpoint.wait_send e0 s;
+        ignore (Uls_emp.Endpoint.wait_recv e0 r);
+        if i > warmup then sum := !sum + (Sim.now sim - t0)
+      done;
+      latency := float_of_int !sum /. float_of_int iters /. 2.);
+  ignore (Cluster.run c);
+  !latency /. 1_000.
+
+let emp_bandwidth ~msg ~total =
+  let c = Cluster.create ~n:2 () in
+  let e0 = Cluster.emp c 0 and e1 = Cluster.emp c 1 in
+  let sim = Cluster.sim c in
+  let count = max 1 (total / msg) in
+  let buf0 = Memory.alloc msg and buf1 = Memory.alloc msg in
+  let result = ref 0. in
+  Sim.spawn sim ~name:"sink" (fun () ->
+      let recvs =
+        List.init count (fun _ ->
+            Uls_emp.Endpoint.post_recv e1 ~src:0 ~tag:7 buf1 ~off:0 ~len:msg)
+      in
+      List.iter (fun r -> ignore (Uls_emp.Endpoint.wait_recv e1 r)) recvs);
+  Sim.spawn sim ~name:"src" (fun () ->
+      let t0 = Sim.now sim in
+      let window = 16 in
+      let pending = Queue.create () in
+      for _ = 1 to count do
+        if Queue.length pending >= window then
+          Uls_emp.Endpoint.wait_send e0 (Queue.pop pending);
+        Queue.push
+          (Uls_emp.Endpoint.post_send e0 ~dst:1 ~tag:7 buf0 ~off:0 ~len:msg)
+          pending
+      done;
+      Queue.iter (Uls_emp.Endpoint.wait_send e0) pending;
+      result := Time.mbps ~bytes_transferred:(msg * count) ~elapsed:(Sim.now sim - t0));
+  ignore (Cluster.run c);
+  !result
+
+(* --- stack-level ------------------------------------------------------ *)
+
+let make_api kind c =
+  match kind with
+  | Emp_raw -> invalid_arg "make_api: raw EMP has no sockets API"
+  | Tcp config -> Cluster.tcp_api ~config c
+  | Sub opts -> Cluster.substrate_api ~opts c
+
+let api_ping_pong ~kind ~size ~iters ~warmup =
+  let c = Cluster.create ~n:2 () in
+  let api = make_api kind c in
+  let sim = Cluster.sim c in
+  let latency = ref 0. in
+  Sim.spawn sim ~name:"server" (fun () ->
+      let l = api.Uls_api.Sockets_api.listen ~node:1 ~port:99 ~backlog:4 in
+      let s, _ = l.accept () in
+      (try
+         for _ = 1 to iters + warmup do
+           s.send (Uls_api.Sockets_api.recv_exact s size)
+         done
+       with Uls_api.Sockets_api.Connection_closed -> ());
+      s.close ());
+  Sim.spawn sim ~name:"client" (fun () ->
+      Sim.delay sim (Time.us 50);
+      let s = api.Uls_api.Sockets_api.connect ~node:0 { node = 1; port = 99 } in
+      let payload = String.make size 'x' in
+      let sum = ref 0 in
+      for i = 1 to iters + warmup do
+        let t0 = Sim.now sim in
+        s.send payload;
+        ignore (Uls_api.Sockets_api.recv_exact s size);
+        if i > warmup then sum := !sum + (Sim.now sim - t0)
+      done;
+      latency := float_of_int !sum /. float_of_int iters /. 2.;
+      s.close ());
+  ignore (Cluster.run c);
+  !latency /. 1_000.
+
+let api_bandwidth ~kind ~msg ~total =
+  let c = Cluster.create ~n:2 () in
+  let api = make_api kind c in
+  let sim = Cluster.sim c in
+  let count = max 1 (total / msg) in
+  let result = ref 0. in
+  Sim.spawn sim ~name:"sink" (fun () ->
+      let l = api.Uls_api.Sockets_api.listen ~node:1 ~port:99 ~backlog:4 in
+      let s, _ = l.accept () in
+      let goal = msg * count in
+      let rec drain got =
+        if got < goal then begin
+          let chunk = s.recv 65536 in
+          if chunk = "" then () else drain (got + String.length chunk)
+        end
+      in
+      drain 0;
+      s.send "k";
+      s.close ());
+  Sim.spawn sim ~name:"src" (fun () ->
+      Sim.delay sim (Time.us 50);
+      let s = api.Uls_api.Sockets_api.connect ~node:0 { node = 1; port = 99 } in
+      let payload = String.make msg 'y' in
+      let t0 = Sim.now sim in
+      for _ = 1 to count do
+        s.send payload
+      done;
+      ignore (s.recv 1);
+      result := Time.mbps ~bytes_transferred:(msg * count) ~elapsed:(Sim.now sim - t0);
+      s.close ());
+  ignore (Cluster.run c);
+  !result
+
+(* --- entry points ----------------------------------------------------- *)
+
+let ping_pong ?(iters = 30) ?(warmup = 5) ~kind ~size () =
+  match kind with
+  | Emp_raw -> emp_ping_pong ~size ~iters ~warmup
+  | Tcp _ | Sub _ -> api_ping_pong ~kind ~size ~iters ~warmup
+
+let bandwidth ?(total = 16 * 1024 * 1024) ~kind ~msg () =
+  match kind with
+  | Emp_raw -> emp_bandwidth ~msg ~total
+  | Tcp _ | Sub _ -> api_bandwidth ~kind ~msg ~total
+
+let connect_time ~kind () =
+  (* Mean time for connect() alone, over a fresh cluster. *)
+  let c = Cluster.create ~n:2 () in
+  let api = make_api kind c in
+  let sim = Cluster.sim c in
+  let result = ref 0. in
+  let iters = 10 in
+  Sim.spawn sim ~name:"server" (fun () ->
+      let l = api.Uls_api.Sockets_api.listen ~node:1 ~port:99 ~backlog:8 in
+      for _ = 1 to iters do
+        let s, _ = l.accept () in
+        s.close ()
+      done);
+  Sim.spawn sim ~name:"client" (fun () ->
+      Sim.delay sim (Time.us 50);
+      let sum = ref 0 in
+      for _ = 1 to iters do
+        let t0 = Sim.now sim in
+        let s = api.Uls_api.Sockets_api.connect ~node:0 { node = 1; port = 99 } in
+        sum := !sum + (Sim.now sim - t0);
+        s.close ();
+        Sim.delay sim (Time.us 200)
+      done;
+      result := float_of_int !sum /. float_of_int iters);
+  ignore (Cluster.run c);
+  !result /. 1_000.

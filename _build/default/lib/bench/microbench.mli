@@ -1,0 +1,24 @@
+(** Micro-benchmark drivers (§7.1–7.2): ping-pong latency and
+    unidirectional stream bandwidth over raw EMP, kernel TCP, or the
+    substrate. Every run builds a fresh two-node cluster, so experiments
+    are independent and bit-deterministic. *)
+
+type stack_kind =
+  | Emp_raw  (** raw EMP descriptors, no sockets layer *)
+  | Tcp of Uls_tcp.Config.t
+  | Sub of Uls_substrate.Options.t
+
+val kind_name : stack_kind -> string
+
+val ping_pong :
+  ?iters:int -> ?warmup:int -> kind:stack_kind -> size:int -> unit -> float
+(** One-way latency in microseconds (half the mean round trip over
+    [iters] timed iterations after [warmup] discarded ones). *)
+
+val bandwidth : ?total:int -> kind:stack_kind -> msg:int -> unit -> float
+(** Stream [total] bytes (default 16 MB) in [msg]-byte messages; returns
+    megabits per second of goodput. *)
+
+val connect_time : kind:stack_kind -> unit -> float
+(** Mean time of [connect()] alone, in microseconds (meaningless for
+    [Emp_raw], which is connectionless). *)

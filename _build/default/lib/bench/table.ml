@@ -1,0 +1,40 @@
+(** Result tables printed by the benchmark harness, one per paper
+    table/figure. *)
+
+type t = {
+  id : string;  (** e.g. "fig11" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;  (** paper-reference commentary *)
+}
+
+let cell_f v = Printf.sprintf "%.1f" v
+let cell_f2 v = Printf.sprintf "%.2f" v
+let cell_i v = string_of_int v
+
+let widths t =
+  let all = t.header :: t.rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let w = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i c -> if i < cols then w.(i) <- max w.(i) (String.length c)))
+    all;
+  w
+
+let print fmt t =
+  let w = widths t in
+  let pad i s =
+    let extra = w.(i) - String.length s in
+    if i = 0 then s ^ String.make extra ' ' else String.make extra ' ' ^ s
+  in
+  let line cells =
+    Format.fprintf fmt "  %s@."
+      (String.concat "  " (List.mapi pad cells))
+  in
+  Format.fprintf fmt "== %s: %s ==@." t.id t.title;
+  line t.header;
+  line (List.mapi (fun i _ -> String.make w.(i) '-') t.header);
+  List.iter line t.rows;
+  List.iter (fun n -> Format.fprintf fmt "  note: %s@." n) t.notes;
+  Format.fprintf fmt "@."

@@ -1,0 +1,19 @@
+(** Result tables printed by the benchmark harness, one per paper
+    table/figure. *)
+
+type t = {
+  id : string;  (** e.g. "fig11" *)
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;  (** paper-reference commentary *)
+}
+
+val cell_f : float -> string
+(** One decimal place. *)
+
+val cell_f2 : float -> string
+(** Two decimal places. *)
+
+val cell_i : int -> string
+val print : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/emp/endpoint.ml: Array Cond Cost_model Hashtbl Mailbox Match_list Memory Node Os Resource Sim String Tigon Time Uls_engine Uls_ether Uls_host Uls_nic Vec Wire

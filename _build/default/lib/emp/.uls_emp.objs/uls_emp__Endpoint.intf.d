@@ -1,0 +1,1 @@
+lib/emp/endpoint.mli: Uls_engine Uls_host Uls_nic

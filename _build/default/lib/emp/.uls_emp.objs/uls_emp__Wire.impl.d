@@ -1,0 +1,1 @@
+lib/emp/wire.ml: Format String Uls_ether

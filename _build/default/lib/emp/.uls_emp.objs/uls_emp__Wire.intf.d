@@ -1,0 +1,1 @@
+lib/emp/wire.mli: Format Uls_ether

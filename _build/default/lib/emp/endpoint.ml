@@ -1,0 +1,672 @@
+open Uls_engine
+open Uls_host
+open Uls_nic
+
+type config = {
+  ack_window : int;
+  tx_window : int;
+  rto : Time.ns;
+  max_retries : int;
+  use_nacks : bool;  (* gap-triggered NACK frames for fast loss recovery *)
+}
+
+let default_config =
+  { ack_window = 4; tx_window = 64; rto = Time.ms 2; max_retries = 20;
+    use_nacks = true }
+
+type send = {
+  s_key : Wire.msg_key;
+  s_dst : int;
+  s_tag : int;
+  s_region : Memory.region;
+  s_off : int;
+  s_len : int;
+  s_nframes : int;
+  mutable s_acked : int; (* cumulative frames acked *)
+  mutable s_next : int; (* next frame index to transmit *)
+  mutable s_retries : int;
+  mutable s_rto : Time.ns;
+  mutable s_done : bool;
+  mutable s_failed : bool;
+  s_cond : Cond.t;
+}
+
+type recv = {
+  r_want_src : int;
+  r_want_tag : int;
+  r_region : Memory.region;
+  r_off : int;
+  r_cap : int;
+  mutable r_len : int;
+  mutable r_from : int;
+  mutable r_tag : int;
+  mutable r_matched : bool;
+  mutable r_done : bool;
+  mutable r_cancelled : bool;
+  r_cond : Cond.t;
+}
+
+type uq_slot = {
+  u_buf : Memory.region;
+  u_size : int;
+  mutable u_len : int;
+  mutable u_from : int;
+  mutable u_tag : int;
+  mutable u_state : [ `Free | `Filling | `Arrived ];
+  mutable u_born : Time.ns;
+}
+
+type rx_dst =
+  | To_user of recv
+  | To_uq of uq_slot
+
+type rx_record = {
+  rec_dst : rx_dst;
+  rec_nframes : int;
+  rec_total : int;
+  rec_src : int;
+  rec_tag : int;
+  rec_got : bool array;
+  mutable rec_count : int;
+  mutable rec_prefix : int; (* contiguous frames received from 0 *)
+  mutable rec_nacked : bool; (* a NACK for the current gap is outstanding *)
+}
+
+type stats = {
+  messages_sent : int;
+  messages_received : int;
+  frames_sent : int;
+  frames_retransmitted : int;
+  frames_dropped_no_descriptor : int;
+  protocol_acks_sent : int;
+  unexpected_queue_hits : int;
+  descriptor_walk_total : int;
+  nacks_sent : int;
+}
+
+type t = {
+  node : Node.t;
+  nic : Tigon.t;
+  cfg : config;
+  mutable next_msg_id : int;
+  posted : recv Match_list.t;
+  uq : uq_slot Vec.t;
+  active_rx : (Wire.msg_key, rx_record) Hashtbl.t;
+  finished_rx : (Wire.msg_key, int) Hashtbl.t; (* nframes, for dup re-acks *)
+  active_tx : (Wire.msg_key, send) Hashtbl.t;
+  rx_queue : Uls_ether.Frame.t Mailbox.t;
+  uq_arrival : Cond.t;
+  mutable st_msgs_sent : int;
+  mutable st_msgs_recv : int;
+  mutable st_frames_sent : int;
+  mutable st_retrans : int;
+  mutable st_drops : int;
+  mutable st_acks : int;
+  mutable st_uq_hits : int;
+  mutable st_walked : int;
+  mutable st_nacks : int;
+}
+
+exception Send_failed of { dst : int; tag : int; retries : int }
+
+let node t = t.node
+let node_id t = Node.id t.node
+let sim t = Node.sim t.node
+let config t = t.cfg
+let model t = Node.model t.node
+
+let posted_descriptors t = Match_list.length t.posted
+
+let stats t =
+  {
+    messages_sent = t.st_msgs_sent;
+    messages_received = t.st_msgs_recv;
+    frames_sent = t.st_frames_sent;
+    frames_retransmitted = t.st_retrans;
+    frames_dropped_no_descriptor = t.st_drops;
+    protocol_acks_sent = t.st_acks;
+    unexpected_queue_hits = t.st_uq_hits;
+    descriptor_walk_total = t.st_walked;
+    nacks_sent = t.st_nacks;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Transmit side                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let chunk_of st idx =
+  if st.s_len = 0 then ""
+  else begin
+    let per = Wire.max_data_per_frame in
+    let start = idx * per in
+    let len = min per (st.s_len - start) in
+    Memory.sub_string st.s_region ~off:(st.s_off + start) ~len
+  end
+
+let send_frame t st idx =
+  let chunk = chunk_of st idx in
+  Tigon.dma t.nic ~bytes:(String.length chunk);
+  Tigon.tx_work t.nic (model t).Cost_model.nic_tx_per_frame;
+  let data =
+    {
+      Wire.key = st.s_key;
+      tag = st.s_tag;
+      frame_idx = idx;
+      nframes = st.s_nframes;
+      total_len = st.s_len;
+      chunk;
+    }
+  in
+  Tigon.transmit t.nic (Wire.data_frame ~src:(node_id t) ~dst:st.s_dst data);
+  t.st_frames_sent <- t.st_frames_sent + 1
+
+let fail_send t st =
+  st.s_failed <- true;
+  Hashtbl.remove t.active_tx st.s_key;
+  Cond.broadcast st.s_cond
+
+(* The single transmit fiber of a message: streams frames subject to the
+   in-flight window, then waits for full acknowledgment, rewinding to the
+   cumulative ack (go-back-N) whenever the RTO expires. *)
+let tx_fiber t st () =
+  let m = model t in
+  Tigon.tx_work t.nic (m.Cost_model.nic_mailbox_fetch + m.Cost_model.nic_tx_per_msg);
+  let give_up () =
+    st.s_retries >= t.cfg.max_retries
+  in
+  let rewind () =
+    st.s_retries <- st.s_retries + 1;
+    if not (give_up ()) then begin
+      t.st_retrans <- t.st_retrans + (st.s_next - st.s_acked);
+      st.s_next <- st.s_acked;
+      st.s_rto <- min (2 * st.s_rto) (Time.ms 5)
+    end
+  in
+  let rec drive () =
+    if st.s_failed || st.s_done then ()
+    else if give_up () then fail_send t st
+    else if st.s_next < st.s_nframes then
+      if st.s_next - st.s_acked >= t.cfg.tx_window then begin
+        (* Window full: wait for ack progress. *)
+        let before = st.s_acked in
+        (match Cond.wait_timeout st.s_cond st.s_rto with
+        | `Ok -> ()
+        | `Timeout -> if st.s_acked = before then rewind ());
+        drive ()
+      end
+      else begin
+        let idx = st.s_next in
+        st.s_next <- idx + 1;
+        send_frame t st idx;
+        drive ()
+      end
+    else begin
+      (* Everything transmitted: await completion. *)
+      let before = st.s_acked in
+      (match Cond.wait_timeout st.s_cond st.s_rto with
+      | `Ok -> ()
+      | `Timeout -> if st.s_acked = before && not st.s_done then rewind ());
+      drive ()
+    end
+  in
+  drive ()
+
+let post_send t ~dst ~tag region ~off ~len =
+  if len < 0 || off < 0 || off + len > Memory.length region then
+    invalid_arg "Endpoint.post_send: bad range";
+  let m = model t in
+  Sim.delay (sim t) m.Cost_model.emp_host_post;
+  Os.pin_region (Node.os t.node) region ~off ~len;
+  Sim.delay (sim t) m.Cost_model.pio_write;
+  t.next_msg_id <- t.next_msg_id + 1;
+  let st =
+    {
+      s_key = { Wire.src_node = node_id t; msg_id = t.next_msg_id };
+      s_dst = dst;
+      s_tag = tag;
+      s_region = region;
+      s_off = off;
+      s_len = len;
+      s_nframes = Wire.frames_for len;
+      s_acked = 0;
+      s_next = 0;
+      s_retries = 0;
+      s_rto = t.cfg.rto;
+      s_done = false;
+      s_failed = false;
+      s_cond = Cond.create (sim t);
+    }
+  in
+  Hashtbl.replace t.active_tx st.s_key st;
+  t.st_msgs_sent <- t.st_msgs_sent + 1;
+  Sim.spawn (sim t) ~name:"emp-tx" (tx_fiber t st);
+  st
+
+let send_done st = st.s_done
+
+let wait_send t st =
+  Cond.wait_until st.s_cond (fun () -> st.s_done || st.s_failed);
+  if st.s_failed then
+    raise (Send_failed { dst = st.s_dst; tag = st.s_tag; retries = st.s_retries });
+  Sim.delay (sim t) (model t).Cost_model.emp_host_reap
+
+(* ------------------------------------------------------------------ *)
+(* Receive side                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let recv_done r = r.r_done
+
+let recv_result r =
+  if r.r_done then Some (r.r_len, r.r_from, r.r_tag) else None
+
+let wait_recv t r =
+  Cond.wait_until r.r_cond (fun () -> r.r_done);
+  Sim.delay (sim t) (model t).Cost_model.emp_host_reap;
+  (r.r_len, r.r_from, r.r_tag)
+
+let wait_recv_timeout t r timeout =
+  let deadline = Sim.now (sim t) + timeout in
+  let rec loop () =
+    if r.r_done then begin
+      Sim.delay (sim t) (model t).Cost_model.emp_host_reap;
+      Some (r.r_len, r.r_from, r.r_tag)
+    end
+    else begin
+      let remaining = deadline - Sim.now (sim t) in
+      if remaining <= 0 then None
+      else begin
+        ignore (Cond.wait_timeout r.r_cond remaining);
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let complete_recv r ~len ~src ~tag =
+  r.r_len <- len;
+  r.r_from <- src;
+  r.r_tag <- tag;
+  r.r_done <- true;
+  Cond.broadcast r.r_cond
+
+(* Host-side consumption of a message that landed in the unexpected
+   queue: copy into the user buffer (the extra copy the paper accepts
+   for UQ traffic), then free the slot. *)
+let consume_uq t slot r =
+  t.st_uq_hits <- t.st_uq_hits + 1;
+  let len = min slot.u_len r.r_cap in
+  r.r_matched <- true;
+  let finish () =
+    Node.copy t.node ~src:slot.u_buf ~src_off:0 ~dst:r.r_region ~dst_off:r.r_off
+      ~len;
+    let src = slot.u_from and tag = slot.u_tag in
+    slot.u_state <- `Free;
+    slot.u_len <- 0;
+    complete_recv r ~len ~src ~tag
+  in
+  Sim.spawn (sim t) ~name:"emp-uq-copy" finish
+
+let uq_match t ~src ~tag =
+  let n = Vec.length t.uq in
+  let rec scan i =
+    if i >= n then None
+    else begin
+      let slot = Vec.get t.uq i in
+      if
+        slot.u_state = `Arrived
+        && (src = -1 || slot.u_from = src)
+        && (tag = -1 || slot.u_tag = tag)
+      then Some slot
+      else scan (i + 1)
+    end
+  in
+  scan 0
+
+let post_recv t ~src ~tag region ~off ~len =
+  if len < 0 || off < 0 || off + len > Memory.length region then
+    invalid_arg "Endpoint.post_recv: bad range";
+  let m = model t in
+  Sim.delay (sim t) m.Cost_model.emp_host_post;
+  Os.pin_region (Node.os t.node) region ~off ~len;
+  let r =
+    {
+      r_want_src = src;
+      r_want_tag = tag;
+      r_region = region;
+      r_off = off;
+      r_cap = len;
+      r_len = 0;
+      r_from = -1;
+      r_tag = -1;
+      r_matched = false;
+      r_done = false;
+      r_cancelled = false;
+      r_cond = Cond.create (sim t);
+    }
+  in
+  (match uq_match t ~src ~tag with
+  | Some slot -> consume_uq t slot r
+  | None ->
+    Match_list.post t.posted ~src ~tag r;
+    Sim.delay (sim t) m.Cost_model.pio_write;
+    ignore
+      (Resource.completion_after (Tigon.rx_cpu t.nic) m.Cost_model.nic_mailbox_fetch));
+  r
+
+let unpost_recv t r =
+  if r.r_matched || r.r_done then false
+  else begin
+    r.r_cancelled <- true;
+    let removed = Match_list.unpost_matching t.posted (fun r' -> r' == r) in
+    (* Cancelled receives complete with the -1 sentinel so fibers blocked
+       in [wait_recv] unwind (socket close, §5.3). *)
+    complete_recv r ~len:(-1) ~src:(-1) ~tag:(-1);
+    removed <> []
+  end
+
+let uq_has_match t ~src ~tag = uq_match t ~src ~tag <> None
+let uq_arrival_cond t = t.uq_arrival
+
+let provision_unexpected t ~slots ~size =
+  for _ = 1 to slots do
+    Vec.push t.uq
+      {
+        u_buf = Memory.alloc size;
+        u_size = size;
+        u_len = 0;
+        u_from = -1;
+        u_tag = -1;
+        u_state = `Free;
+        u_born = 0;
+      }
+  done
+
+(* --- NIC receive firmware ------------------------------------------ *)
+
+let send_protocol_ack t ~dst ~key ~acked =
+  let m = model t in
+  Tigon.rx_work t.nic m.Cost_model.nic_ack_gen;
+  t.st_acks <- t.st_acks + 1;
+  Tigon.transmit t.nic (Wire.ack_frame ~src:(node_id t) ~dst ~key ~acked)
+
+(* The unexpected queue is a finite resource: arrived messages that
+   nobody ever posts a receive for (e.g. a credit ack that raced a
+   socket close) would pin their slot forever, eventually starving live
+   traffic. When no slot is free, the stalest sufficiently old arrival
+   is evicted — semantically, EMP drops the unexpected message. *)
+let uq_stale_after = Time.ms 5
+
+let evict_stale_uq t ~total_len =
+  let now = Sim.now (sim t) in
+  let best = ref None in
+  Vec.iter
+    (fun slot ->
+      if
+        slot.u_state = `Arrived
+        && now - slot.u_born > uq_stale_after
+        && slot.u_size >= total_len
+      then
+        match !best with
+        | Some b when b.u_born <= slot.u_born -> ()
+        | _ -> best := Some slot)
+    t.uq;
+  match !best with
+  | Some slot ->
+    slot.u_state <- `Free;
+    slot.u_len <- 0;
+    Some slot
+  | None -> None
+
+let free_uq_slot_for t ~total_len =
+  let n = Vec.length t.uq in
+  let rec scan i walked =
+    if i >= n then (evict_stale_uq t ~total_len, walked)
+    else begin
+      let slot = Vec.get t.uq i in
+      if slot.u_state = `Free && slot.u_size >= total_len then (Some slot, walked + 1)
+      else scan (i + 1) (walked + 1)
+    end
+  in
+  scan 0 0
+
+(* First frame of a message: walk the posted descriptors (charging the
+   per-descriptor match cost), falling back to the unexpected queue,
+   which is checked last (paper §6.4). *)
+let match_new_message t (d : Wire.data) =
+  let m = model t in
+  let src = d.key.Wire.src_node in
+  match Match_list.take t.posted ~src ~tag:d.tag with
+  | Some (r, walked) ->
+    t.st_walked <- t.st_walked + walked;
+    Tigon.rx_work t.nic (walked * m.Cost_model.nic_tag_match_per_desc);
+    if r.r_cancelled then None
+    else begin
+      r.r_matched <- true;
+      Some (To_user r)
+    end
+  | None ->
+    let full_walk = Match_list.length t.posted in
+    let slot, uq_walked = free_uq_slot_for t ~total_len:d.total_len in
+    t.st_walked <- t.st_walked + full_walk + uq_walked;
+    Tigon.rx_work t.nic
+      ((full_walk + uq_walked) * m.Cost_model.nic_tag_match_per_desc);
+    (match slot with
+    | None -> None
+    | Some slot ->
+      slot.u_state <- `Filling;
+      slot.u_from <- src;
+      slot.u_tag <- d.tag;
+      slot.u_len <- d.total_len;
+      slot.u_born <- Sim.now (sim t);
+      Some (To_uq slot))
+
+let store_chunk t record (d : Wire.data) =
+  let bytes = String.length d.chunk in
+  let dst_off = d.frame_idx * Wire.max_data_per_frame in
+  (match record.rec_dst with
+  | To_user r ->
+    let room = r.r_cap - dst_off in
+    let n = min bytes (max 0 room) in
+    if n > 0 then Memory.blit_from_string (String.sub d.chunk 0 n) r.r_region ~off:(r.r_off + dst_off)
+  | To_uq slot ->
+    let room = slot.u_size - dst_off in
+    let n = min bytes (max 0 room) in
+    if n > 0 then Memory.blit_from_string (String.sub d.chunk 0 n) slot.u_buf ~off:dst_off);
+  Tigon.dma t.nic ~bytes
+
+let finish_record t key record =
+  Hashtbl.remove t.active_rx key;
+  Hashtbl.replace t.finished_rx key record.rec_nframes;
+  t.st_msgs_recv <- t.st_msgs_recv + 1;
+  match record.rec_dst with
+  | To_user r ->
+    complete_recv r
+      ~len:(min record.rec_total r.r_cap)
+      ~src:record.rec_src ~tag:record.rec_tag
+  | To_uq slot -> (
+    slot.u_state <- `Arrived;
+    Cond.broadcast t.uq_arrival;
+    (* A descriptor posted while the message was in flight may be
+       waiting; deliver to it now. *)
+    match
+      Match_list.take t.posted ~src:slot.u_from ~tag:slot.u_tag
+    with
+    | Some (r, walked) ->
+      t.st_walked <- t.st_walked + walked;
+      if r.r_cancelled then ()
+      else consume_uq t slot r
+    | None -> ())
+
+let rx_data t (d : Wire.data) =
+  let m = model t in
+  Tigon.rx_work t.nic m.Cost_model.nic_rx_classify;
+  let key = d.key in
+  let record =
+    match Hashtbl.find_opt t.active_rx key with
+    | Some record ->
+      (* Later frame: matched against the in-progress receive record. *)
+      Tigon.rx_work t.nic m.Cost_model.nic_tag_match_per_desc;
+      Some record
+    | None ->
+      if Hashtbl.mem t.finished_rx key then begin
+        (* Duplicate of a completed message: re-ack so the sender stops. *)
+        let nframes = Hashtbl.find t.finished_rx key in
+        send_protocol_ack t ~dst:key.Wire.src_node ~key ~acked:nframes;
+        None
+      end
+      else begin
+        match match_new_message t d with
+        | None ->
+          t.st_drops <- t.st_drops + 1;
+          None
+        | Some dst ->
+          let record =
+            {
+              rec_dst = dst;
+              rec_nframes = d.nframes;
+              rec_total = d.total_len;
+              rec_src = key.Wire.src_node;
+              rec_tag = d.tag;
+              rec_got = Array.make d.nframes false;
+              rec_count = 0;
+              rec_prefix = 0;
+              rec_nacked = false;
+            }
+          in
+          Hashtbl.replace t.active_rx key record;
+          Some record
+      end
+  in
+  match record with
+  | None -> ()
+  | Some record ->
+    if record.rec_got.(d.frame_idx) then
+      (* Duplicate frame (ack loss / go-back-N overlap): re-ack the
+         contiguous prefix so the sender resumes from the right point. *)
+      send_protocol_ack t ~dst:key.Wire.src_node ~key ~acked:record.rec_prefix
+    else begin
+      record.rec_got.(d.frame_idx) <- true;
+      record.rec_count <- record.rec_count + 1;
+      let old_prefix = record.rec_prefix in
+      while
+        record.rec_prefix < record.rec_nframes
+        && record.rec_got.(record.rec_prefix)
+      do
+        record.rec_prefix <- record.rec_prefix + 1
+      done;
+      if record.rec_prefix > old_prefix then record.rec_nacked <- false;
+      Tigon.rx_work t.nic m.Cost_model.nic_rx_per_frame;
+      store_chunk t record d;
+      let complete = record.rec_count = record.rec_nframes in
+      (* Cumulative acks carry the contiguous prefix — never the raw
+         count, which would overstate progress across a loss hole. *)
+      if complete || record.rec_prefix mod t.cfg.ack_window = 0 then
+        send_protocol_ack t ~dst:key.Wire.src_node ~key
+          ~acked:record.rec_prefix;
+      (* Gap detected (a frame beyond the prefix): NACK once so the
+         sender rewinds immediately instead of waiting out its RTO. *)
+      if
+        t.cfg.use_nacks && (not complete)
+        && d.frame_idx > record.rec_prefix
+        && not record.rec_nacked
+      then begin
+        record.rec_nacked <- true;
+        t.st_nacks <- t.st_nacks + 1;
+        Tigon.rx_work t.nic m.Cost_model.nic_ack_gen;
+        Tigon.transmit t.nic
+          (Wire.nack_frame ~src:(node_id t) ~dst:key.Wire.src_node ~key
+             ~next_expected:record.rec_prefix)
+      end;
+      if complete then finish_record t key record
+    end
+
+let rx_ack t key acked =
+  let m = model t in
+  Tigon.rx_work t.nic m.Cost_model.nic_rx_classify;
+  match Hashtbl.find_opt t.active_tx key with
+  | None -> ()
+  | Some st ->
+    if acked > st.s_acked then begin
+      st.s_acked <- acked;
+      (* An ack may cover frames sent before a go-back-N rewind: skip
+         retransmitting what the receiver already holds. *)
+      if st.s_next < acked then st.s_next <- acked;
+      st.s_rto <- t.cfg.rto;
+      st.s_retries <- 0
+    end;
+    if st.s_acked >= st.s_nframes && not st.s_done then begin
+      st.s_done <- true;
+      Hashtbl.remove t.active_tx key;
+      (* Completion notification DMA'd to the host. *)
+      Tigon.dma t.nic ~bytes:8
+    end;
+    Cond.broadcast st.s_cond
+
+(* A NACK names the first missing frame: rewind the transmit point to it
+   at once (selective go-back-N) without waiting for the RTO. *)
+let rx_nack t key next_expected =
+  let m = model t in
+  Tigon.rx_work t.nic m.Cost_model.nic_rx_classify;
+  match Hashtbl.find_opt t.active_tx key with
+  | None -> ()
+  | Some st ->
+    (* A NACK is also cumulative: everything below the named frame has
+       been received. *)
+    if next_expected > st.s_acked then st.s_acked <- next_expected;
+    if next_expected < st.s_next then begin
+      t.st_retrans <- t.st_retrans + (st.s_next - next_expected);
+      st.s_next <- next_expected
+    end;
+    Cond.broadcast st.s_cond
+
+let rx_dispatcher t () =
+  let rec loop () =
+    let frame = Mailbox.recv t.rx_queue in
+    (match frame.Uls_ether.Frame.payload with
+    | Wire.Data d -> rx_data t d
+    | Wire.Ack { key; acked } -> rx_ack t key acked
+    | Wire.Nack { key; next_expected } -> rx_nack t key next_expected
+    | _ -> ());
+    loop ()
+  in
+  loop ()
+
+let reset t =
+  ignore (Match_list.unpost_all t.posted);
+  Hashtbl.reset t.active_rx;
+  Hashtbl.reset t.finished_rx;
+  Vec.iter
+    (fun slot ->
+      slot.u_state <- `Free;
+      slot.u_len <- 0)
+    t.uq
+
+let create ?(config = default_config) node nic =
+  let sim = Node.sim node in
+  let t =
+    {
+      node;
+      nic;
+      cfg = config;
+      next_msg_id = 0;
+      posted = Match_list.create ();
+      uq = Vec.create ();
+      active_rx = Hashtbl.create 64;
+      finished_rx = Hashtbl.create 256;
+      active_tx = Hashtbl.create 64;
+      rx_queue = Mailbox.create sim;
+      uq_arrival = Cond.create sim;
+      st_msgs_sent = 0;
+      st_msgs_recv = 0;
+      st_frames_sent = 0;
+      st_retrans = 0;
+      st_drops = 0;
+      st_acks = 0;
+      st_uq_hits = 0;
+      st_walked = 0;
+      st_nacks = 0;
+    }
+  in
+  Tigon.set_firmware_rx nic (fun frame -> Mailbox.send t.rx_queue frame);
+  Sim.spawn sim ~name:"emp-rx-dispatch" (rx_dispatcher t);
+  t

@@ -1,0 +1,115 @@
+(** One EMP endpoint: the user-space host library plus the NIC-resident
+    firmware protocol of EMP (§2 of the paper), running over a
+    {!Uls_nic.Tigon} NIC.
+
+    Sends and receives are descriptor-based and tag-matched on the NIC.
+    A receive descriptor must be posted before (or shortly after) the
+    message arrives; unmatched frames go to the unexpected queue if
+    provisioned, otherwise they are dropped and recovered by sender
+    retransmission. Completion of a send means every frame has been
+    acknowledged by the receiving NIC (EMP is zero-copy: the user buffer
+    is live until then). *)
+
+type t
+
+type config = {
+  ack_window : int;  (** frames per protocol ack (paper: 4) *)
+  tx_window : int;  (** max unacked frames in flight per message *)
+  rto : Uls_engine.Time.ns;  (** initial retransmission timeout *)
+  max_retries : int;
+  use_nacks : bool;
+      (** send a NACK frame when a receive gap is detected, so the
+          sender rewinds immediately instead of waiting out its RTO *)
+}
+
+val default_config : config
+
+val create : ?config:config -> Uls_host.Node.t -> Uls_nic.Tigon.t -> t
+val node : t -> Uls_host.Node.t
+val node_id : t -> int
+val sim : t -> Uls_engine.Sim.t
+val config : t -> config
+
+(** {1 Sending} *)
+
+type send
+
+exception Send_failed of { dst : int; tag : int; retries : int }
+
+val post_send :
+  t -> dst:int -> tag:int -> Uls_host.Memory.region -> off:int -> len:int -> send
+(** Post a transmit descriptor (T1–T2: descriptor build, pin/translate
+    via the OS translation cache, doorbell). Returns immediately; the
+    NIC-side transmit proceeds concurrently. Caller must be a fiber. *)
+
+val send_done : send -> bool
+val wait_send : t -> send -> unit
+(** Block until fully acknowledged. @raise Send_failed after
+    [max_retries] unacknowledged retransmission rounds. *)
+
+(** {1 Receiving} *)
+
+type recv
+
+val post_recv :
+  t ->
+  src:int ->
+  tag:int ->
+  Uls_host.Memory.region ->
+  off:int ->
+  len:int ->
+  recv
+(** Post a receive descriptor ([src] and/or [tag] may be [-1] as a
+    wildcard). If a matching message already sits complete in the
+    unexpected queue it is consumed immediately (host-side copy). *)
+
+val recv_done : recv -> bool
+val wait_recv : t -> recv -> int * int * int
+(** Block until the message has fully arrived; returns
+    [(length, source node, tag)]. *)
+
+val recv_result : recv -> (int * int * int) option
+
+val wait_recv_timeout : t -> recv -> Uls_engine.Time.ns -> (int * int * int) option
+(** Like {!wait_recv} but gives up after the timeout (connection
+    establishment uses this to detect refusal). The descriptor stays
+    posted on [None]. *)
+
+val unpost_recv : t -> recv -> bool
+(** Remove a not-yet-matched descriptor (resource reclamation on socket
+    close). Returns [false] if the descriptor already matched a message.
+    A successfully cancelled receive completes with length [-1], so any
+    fiber blocked in {!wait_recv} unwinds and can test for the sentinel. *)
+
+(** {1 Unexpected queue} *)
+
+val provision_unexpected : t -> slots:int -> size:int -> unit
+(** Add NIC-managed unexpected-queue descriptors, each backed by a
+    temporary host buffer of [size] bytes. Checked last in tag matching. *)
+
+val uq_has_match : t -> src:int -> tag:int -> bool
+(** A complete message matching [src]/[tag] sits in the unexpected
+    queue (a subsequent {!post_recv} would consume it immediately). *)
+
+val uq_arrival_cond : t -> Uls_engine.Cond.t
+(** Broadcast whenever a message completes into the unexpected queue. *)
+
+val reset : t -> unit
+(** EMP state reset (new application): unposts everything. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  messages_sent : int;
+  messages_received : int;
+  frames_sent : int;
+  frames_retransmitted : int;
+  frames_dropped_no_descriptor : int;
+  protocol_acks_sent : int;
+  unexpected_queue_hits : int;
+  descriptor_walk_total : int;  (** descriptors walked by tag matching *)
+  nacks_sent : int;
+}
+
+val stats : t -> stats
+val posted_descriptors : t -> int

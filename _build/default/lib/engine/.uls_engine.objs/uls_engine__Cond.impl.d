@@ -1,0 +1,1 @@
+lib/engine/cond.ml: Queue Sim

@@ -1,0 +1,1 @@
+lib/engine/cond.mli: Sim Time

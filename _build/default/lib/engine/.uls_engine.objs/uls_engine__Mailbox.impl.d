@@ -1,0 +1,1 @@
+lib/engine/mailbox.ml: Cond Queue Sim

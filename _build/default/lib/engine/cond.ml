@@ -1,0 +1,89 @@
+type waiter = {
+  mutable woken : bool;
+  mutable timed_out : bool;
+  resume : unit -> unit;
+}
+
+type t = {
+  sim : Sim.t;
+  queue : waiter Queue.t;
+}
+
+let create sim = { sim; queue = Queue.create () }
+
+let waiters t =
+  Queue.fold (fun n w -> if w.woken then n else n + 1) 0 t.queue
+
+(* Waiters cancelled by timeout stay in the queue ([woken = true]) and are
+   discarded lazily by [signal]/[broadcast]. *)
+
+let prune t =
+  (* Drop timed-out waiters at the head so a fiber polling with
+     [wait_timeout] in a loop cannot grow the queue unboundedly. *)
+  let rec go () =
+    match Queue.peek_opt t.queue with
+    | Some w when w.woken ->
+      ignore (Queue.pop t.queue);
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let enqueue t resume =
+  prune t;
+  let w = { woken = false; timed_out = false; resume } in
+  Queue.push w t.queue;
+  w
+
+let wait t =
+  Sim.suspend t.sim (fun resume -> ignore (enqueue t resume))
+
+let wait_timeout t timeout =
+  let cell = ref None in
+  Sim.suspend t.sim (fun resume ->
+      let w = enqueue t resume in
+      cell := Some w;
+      Sim.at t.sim
+        (Sim.now t.sim + timeout)
+        (fun () ->
+          if not w.woken then begin
+            w.woken <- true;
+            w.timed_out <- true;
+            w.resume ()
+          end));
+  match !cell with
+  | Some w when w.timed_out -> `Timeout
+  | Some _ -> `Ok
+  | None -> assert false
+
+let signal t =
+  let rec pop () =
+    match Queue.take_opt t.queue with
+    | None -> ()
+    | Some w ->
+      if w.woken then pop ()
+      else begin
+        w.woken <- true;
+        w.resume ()
+      end
+  in
+  pop ()
+
+let broadcast t =
+  let rec drain () =
+    match Queue.take_opt t.queue with
+    | None -> ()
+    | Some w ->
+      if not w.woken then begin
+        w.woken <- true;
+        w.resume ()
+      end;
+      drain ()
+  in
+  drain ()
+
+let rec wait_until t pred =
+  if not (pred ()) then begin
+    wait t;
+    wait_until t pred
+  end

@@ -1,0 +1,21 @@
+(** Condition variables for simulator fibers (FIFO wake-up order). *)
+
+type t
+
+val create : Sim.t -> t
+
+val wait : t -> unit
+(** Block the calling fiber until signalled. *)
+
+val wait_timeout : t -> Time.ns -> [ `Ok | `Timeout ]
+(** Block until signalled or until the timeout elapses. *)
+
+val wait_until : t -> (unit -> bool) -> unit
+(** [wait_until c pred] returns as soon as [pred ()] holds, re-blocking on
+    [c] after each spurious wake-up. Checks [pred] before first blocking. *)
+
+val signal : t -> unit
+(** Wake the oldest waiter, if any. *)
+
+val broadcast : t -> unit
+val waiters : t -> int

@@ -1,0 +1,41 @@
+type 'a t = {
+  sim : Sim.t;
+  queue : 'a Queue.t;
+  nonempty : Cond.t;
+}
+
+let create sim = { sim; queue = Queue.create (); nonempty = Cond.create sim }
+
+let send t v =
+  Queue.push v t.queue;
+  Cond.signal t.nonempty
+
+let try_recv t = Queue.take_opt t.queue
+let peek t = Queue.peek_opt t.queue
+let length t = Queue.length t.queue
+let is_empty t = Queue.is_empty t.queue
+
+(* A waiter woken by [send] may find the queue already drained by another
+   fiber that called [recv] in between; both loops re-check. *)
+
+let rec recv t =
+  match Queue.take_opt t.queue with
+  | Some v -> v
+  | None ->
+    Cond.wait t.nonempty;
+    recv t
+
+let recv_timeout t timeout =
+  let deadline = Sim.now t.sim + timeout in
+  let rec loop () =
+    match Queue.take_opt t.queue with
+    | Some v -> Some v
+    | None ->
+      let remaining = deadline - Sim.now t.sim in
+      if remaining <= 0 then None
+      else
+        match Cond.wait_timeout t.nonempty remaining with
+        | `Timeout -> Queue.take_opt t.queue
+        | `Ok -> loop ()
+  in
+  loop ()

@@ -1,0 +1,15 @@
+(** Unbounded FIFO channel between fibers. *)
+
+type 'a t
+
+val create : Sim.t -> 'a t
+val send : 'a t -> 'a -> unit
+
+val recv : 'a t -> 'a
+(** Block the calling fiber until a message is available. *)
+
+val recv_timeout : 'a t -> Time.ns -> 'a option
+val try_recv : 'a t -> 'a option
+val peek : 'a t -> 'a option
+val length : 'a t -> int
+val is_empty : 'a t -> bool

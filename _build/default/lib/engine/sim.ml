@@ -1,0 +1,120 @@
+type task = {
+  time : Time.ns;
+  seq : int;
+  run : unit -> unit;
+}
+
+type t = {
+  heap : task Heap.t;
+  mutable now : Time.ns;
+  mutable seq : int;
+  mutable live : int;
+  mutable blocked : int;
+  mutable stopped : bool;
+  mutable executed : int;
+}
+
+exception Fiber_failure of string * exn
+
+let compare_task a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  {
+    heap = Heap.create ~cmp:compare_task;
+    now = 0;
+    seq = 0;
+    live = 0;
+    blocked = 0;
+    stopped = false;
+    executed = 0;
+  }
+
+let now t = t.now
+let blocked_fibers t = t.blocked
+let live_fibers t = t.live
+let events_executed t = t.executed
+let stop t = t.stopped <- true
+
+let schedule t ~time run =
+  if time < t.now then invalid_arg "Sim: scheduling in the past";
+  t.seq <- t.seq + 1;
+  Heap.push t.heap { time; seq = t.seq; run }
+
+let at t time run = schedule t ~time run
+
+type _ Effect.t +=
+  | Delay : t * Time.ns -> unit Effect.t
+  | Suspend : t * ((unit -> unit) -> unit) -> unit Effect.t
+
+let delay t d = if d > 0 then Effect.perform (Delay (t, d))
+let suspend t register = Effect.perform (Suspend (t, register))
+
+let run_fiber t name f =
+  let open Effect.Deep in
+  let body () =
+    (try f ()
+     with e ->
+       t.live <- t.live - 1;
+       raise (Fiber_failure (name, e)));
+    t.live <- t.live - 1
+  in
+  let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
+    function
+    | Delay (t', d) ->
+      Some
+        (fun k ->
+          assert (t' == t);
+          schedule t ~time:(t.now + d) (fun () -> continue k ()))
+    | Suspend (t', register) ->
+      Some
+        (fun k ->
+          assert (t' == t);
+          t.blocked <- t.blocked + 1;
+          let resumed = ref false in
+          let resume () =
+            if not !resumed then begin
+              resumed := true;
+              t.blocked <- t.blocked - 1;
+              schedule t ~time:t.now (fun () -> continue k ())
+            end
+          in
+          register resume)
+    | _ -> None
+  in
+  match_with body () { retc = Fun.id; exnc = raise; effc }
+
+let spawn_at t ?(name = "fiber") time f =
+  t.live <- t.live + 1;
+  schedule t ~time (fun () -> run_fiber t name f)
+
+let spawn t ?name f = spawn_at t ?name t.now f
+
+let run ?until t =
+  t.stopped <- false;
+  let result = ref `Quiescent in
+  let running = ref true in
+  while !running do
+    if t.stopped then begin
+      result := `Stopped;
+      running := false
+    end
+    else
+      match Heap.peek t.heap with
+      | None ->
+        result := `Quiescent;
+        running := false
+      | Some task -> (
+        match until with
+        | Some limit when task.time > limit ->
+          t.now <- limit;
+          result := `Time_limit;
+          running := false
+        | _ ->
+          ignore (Heap.pop t.heap);
+          t.now <- task.time;
+          t.executed <- t.executed + 1;
+          task.run ())
+  done;
+  !result

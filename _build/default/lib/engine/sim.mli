@@ -1,0 +1,53 @@
+(** Discrete-event simulator with cooperative fibers.
+
+    Protocol agents are written as ordinary OCaml functions running inside
+    fibers (OCaml 5 effects). A fiber advances virtual time with {!delay}
+    and blocks on external events with {!suspend}; higher-level
+    synchronisation ({!Cond}, {!Mailbox}, {!Resource}) is built on these
+    two primitives. Execution is fully deterministic: simultaneous events
+    run in scheduling order. *)
+
+type t
+
+exception Fiber_failure of string * exn
+(** Raised out of {!run} when a fiber dies with an uncaught exception.
+    Carries the fiber's name and the original exception. *)
+
+val create : unit -> t
+
+val now : t -> Time.ns
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** Start a fiber at the current virtual time. *)
+
+val spawn_at : t -> ?name:string -> Time.ns -> (unit -> unit) -> unit
+
+val at : t -> Time.ns -> (unit -> unit) -> unit
+(** Schedule a plain (non-fiber) callback at an absolute time. The
+    callback must not perform fiber effects. *)
+
+val delay : t -> Time.ns -> unit
+(** [delay sim d] suspends the calling fiber for [d] nanoseconds of
+    virtual time. [d <= 0] is a no-op. Must be called from a fiber. *)
+
+val suspend : t -> ((unit -> unit) -> unit) -> unit
+(** [suspend sim register] parks the calling fiber and calls
+    [register resume]. Calling [resume] (from any context) schedules the
+    fiber to continue at the then-current virtual time; second and later
+    calls to [resume] are ignored, so racing wake-ups (e.g. a timeout and
+    a signal) are safe. *)
+
+val run : ?until:Time.ns -> t -> [ `Quiescent | `Time_limit | `Stopped ]
+(** Execute events until the queue drains ([`Quiescent]), virtual time
+    would pass [until] ([`Time_limit]), or {!stop} is called
+    ([`Stopped]). Can be called repeatedly to resume. *)
+
+val stop : t -> unit
+
+val blocked_fibers : t -> int
+(** Number of fibers currently parked in {!suspend}. After a [`Quiescent]
+    run this being non-zero means those fibers can never resume —
+    i.e. deadlock (the situation of Figure 7 of the paper). *)
+
+val live_fibers : t -> int
+val events_executed : t -> int

@@ -1,0 +1,70 @@
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+  let incr t = t.v <- t.v + 1
+  let add t n = t.v <- t.v + n
+  let value t = t.v
+  let reset t = t.v <- 0
+end
+
+module Summary = struct
+  type t = {
+    samples : float Vec.t;
+    mutable sorted : bool;
+  }
+
+  let create () = { samples = Vec.create (); sorted = true }
+
+  let add t x =
+    Vec.push t.samples x;
+    t.sorted <- false
+
+  let count t = Vec.length t.samples
+  let sum t = Vec.fold ( +. ) 0. t.samples
+
+  let mean t =
+    let n = count t in
+    if n = 0 then 0. else sum t /. float_of_int n
+
+  let min t = Vec.fold Float.min infinity t.samples
+  let max t = Vec.fold Float.max neg_infinity t.samples
+
+  let stddev t =
+    let n = count t in
+    if n < 2 then 0.
+    else begin
+      let m = mean t in
+      let ss = Vec.fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. t.samples in
+      sqrt (ss /. float_of_int (n - 1))
+    end
+
+  let percentile t p =
+    let n = count t in
+    if n = 0 then 0.
+    else begin
+      if not t.sorted then begin
+        Vec.sort Float.compare t.samples;
+        t.sorted <- true
+      end;
+      let rank = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+      let rank = Stdlib.min (n - 1) (Stdlib.max 0 rank) in
+      Vec.get t.samples rank
+    end
+
+  let clear t =
+    Vec.clear t.samples;
+    t.sorted <- true
+end
+
+module Series = struct
+  type t = {
+    name : string;
+    mutable pts : (float * float) list;
+  }
+
+  let create ~name = { name; pts = [] }
+  let add t ~x ~y = t.pts <- (x, y) :: t.pts
+  let name t = t.name
+  let points t = List.rev t.pts
+end

@@ -1,0 +1,42 @@
+(** Measurement collection for experiments. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Summary : sig
+  (** Keeps every sample; supports mean, min/max, stddev, percentiles. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+  val stddev : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t 0.5] is the median. Nearest-rank on sorted samples. *)
+
+  val sum : t -> float
+  val clear : t -> unit
+end
+
+module Series : sig
+  (** (x, y) points accumulated by sweeps, printable as a table column. *)
+
+  type t
+
+  val create : name:string -> t
+  val add : t -> x:float -> y:float -> unit
+  val name : t -> string
+  val points : t -> (float * float) list
+end

@@ -1,0 +1,25 @@
+type t = {
+  sim : Sim.t;
+  mutable on : bool;
+  buf : string Vec.t;
+}
+
+let create sim = { sim; on = false; buf = Vec.create () }
+let enable t = t.on <- true
+let disable t = t.on <- false
+let enabled t = t.on
+
+let emit t ~tag msg =
+  if t.on then begin
+    let line =
+      Format.asprintf "[%a] %-12s %s" Time.pp (Sim.now t.sim) tag msg
+    in
+    Vec.push t.buf line
+  end
+
+let emitf t ~tag fmt =
+  Format.kasprintf (fun s -> emit t ~tag s) fmt
+
+let lines t = List.rev (Vec.fold (fun acc l -> l :: acc) [] t.buf)
+
+let dump t fmt = List.iter (fun l -> Format.fprintf fmt "%s@." l) (lines t)

@@ -1,0 +1,17 @@
+(** Lightweight per-simulation debug tracing. Disabled by default; when
+    enabled, lines carry the virtual timestamp and a subsystem tag. *)
+
+type t
+
+val create : Sim.t -> t
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val emit : t -> tag:string -> string -> unit
+val emitf : t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val lines : t -> string list
+(** Everything emitted while enabled, oldest first. *)
+
+val dump : t -> Format.formatter -> unit

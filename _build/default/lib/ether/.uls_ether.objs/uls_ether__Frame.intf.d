@@ -1,0 +1,1 @@
+lib/ether/frame.mli: Format

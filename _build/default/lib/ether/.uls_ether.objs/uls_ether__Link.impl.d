@@ -1,0 +1,1 @@
+lib/ether/link.ml: Float Frame Resource Sim Time Uls_engine

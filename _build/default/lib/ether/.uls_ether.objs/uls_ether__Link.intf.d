@@ -1,0 +1,1 @@
+lib/ether/link.mli: Frame Uls_engine

@@ -1,0 +1,1 @@
+lib/ether/network.ml: Array Frame Link Printf Sim Switch Uls_engine

@@ -1,0 +1,1 @@
+lib/ether/network.mli: Frame Link Switch Uls_engine

@@ -1,0 +1,1 @@
+lib/ether/switch.ml: Array Frame Hashtbl Link Printf Sim Time Uls_engine

@@ -1,0 +1,1 @@
+lib/ether/switch.mli: Frame Link Uls_engine

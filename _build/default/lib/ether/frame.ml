@@ -1,0 +1,27 @@
+type payload = ..
+type payload += Raw
+
+type t = {
+  src : int;
+  dst : int;
+  payload_len : int;
+  payload : payload;
+}
+
+let mtu = 1500
+let min_payload = 46
+let header_bytes = 14 + 4
+let overhead_bytes = 8 + 12
+let min_frame = 64 (* header + payload + FCS, before preamble/IFG *)
+
+let make ~src ~dst ~payload_len payload =
+  if payload_len < 0 || payload_len > mtu then
+    invalid_arg (Printf.sprintf "Frame.make: payload_len %d" payload_len);
+  { src; dst; payload_len; payload }
+
+let wire_bytes t =
+  let framed = max min_frame (t.payload_len + header_bytes) in
+  framed + overhead_bytes
+
+let pp fmt t =
+  Format.fprintf fmt "frame %d->%d (%dB)" t.src t.dst t.payload_len

@@ -1,0 +1,36 @@
+(** Ethernet frames. The payload is an extensible variant so that upper
+    layers (EMP, IP) can ride the same wire model without this library
+    depending on them. Sizes are modelled, not serialised: [payload_len]
+    is the number of payload bytes the frame occupies on the wire. *)
+
+type payload = ..
+type payload += Raw
+
+type t = {
+  src : int;  (** source station (node id; the switch learns these) *)
+  dst : int;  (** destination station *)
+  payload_len : int;  (** bytes of L2 payload (includes upper headers) *)
+  payload : payload;
+}
+
+val mtu : int
+(** Maximum L2 payload: 1500 bytes. *)
+
+val min_payload : int
+(** Minimum L2 payload: 46 bytes (frames are padded up to this). *)
+
+val header_bytes : int
+(** MAC header (14) + FCS (4). *)
+
+val overhead_bytes : int
+(** Preamble + SFD (8) and inter-frame gap (12): occupies wire time but
+    is not part of the frame proper. *)
+
+val make : src:int -> dst:int -> payload_len:int -> payload -> t
+(** @raise Invalid_argument if [payload_len] exceeds {!mtu}. *)
+
+val wire_bytes : t -> int
+(** Total wire occupancy in bytes, including padding to the 64-byte
+    minimum frame, header, FCS, preamble and IFG. *)
+
+val pp : Format.formatter -> t -> unit

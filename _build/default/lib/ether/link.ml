@@ -1,0 +1,42 @@
+open Uls_engine
+
+type t = {
+  sim : Sim.t;
+  xmit : Resource.t;
+  bits_per_ns : float;
+  propagation : Time.ns;
+  mutable receiver : (Frame.t -> unit) option;
+  mutable frames : int;
+  mutable bytes : int;
+}
+
+let create sim ?(bits_per_ns = 1.0) ?(propagation = 500) ~name () =
+  if bits_per_ns <= 0. then invalid_arg "Link.create: rate";
+  {
+    sim;
+    xmit = Resource.create sim ~name;
+    bits_per_ns;
+    propagation;
+    receiver = None;
+    frames = 0;
+    bytes = 0;
+  }
+
+let set_receiver t f = t.receiver <- Some f
+
+let transmit_time t frame =
+  let bits = float_of_int (Frame.wire_bytes frame * 8) in
+  int_of_float (Float.round (bits /. t.bits_per_ns))
+
+let send t frame =
+  t.frames <- t.frames + 1;
+  t.bytes <- t.bytes + Frame.wire_bytes frame;
+  let finish = Resource.completion_after t.xmit (transmit_time t frame) in
+  Sim.at t.sim (finish + t.propagation) (fun () ->
+      match t.receiver with
+      | Some deliver -> deliver frame
+      | None -> ())
+
+let frames_sent t = t.frames
+let bytes_sent t = t.bytes
+let busy_until t = Resource.free_at t.xmit

@@ -1,0 +1,67 @@
+open Uls_engine
+
+type port = {
+  egress : Link.t;
+  mutable queued_bytes : int;
+}
+
+type t = {
+  sim : Sim.t;
+  fwd_latency : Time.ns;
+  queue_limit : int;
+  ports : port array;
+  mac_table : (int, int) Hashtbl.t; (* station id -> port *)
+  mutable fault : Frame.t -> bool;
+  mutable forwarded : int;
+  mutable dropped : int;
+}
+
+let create sim ?(fwd_latency = 2_500) ?(queue_limit = 262_144) ~ports () =
+  let make_port i =
+    {
+      egress = Link.create sim ~name:(Printf.sprintf "sw-egress-%d" i) ();
+      queued_bytes = 0;
+    }
+  in
+  {
+    sim;
+    fwd_latency;
+    queue_limit;
+    ports = Array.init ports make_port;
+    mac_table = Hashtbl.create 16;
+    fault = (fun _ -> false);
+    forwarded = 0;
+    dropped = 0;
+  }
+
+let egress t ~port = t.ports.(port).egress
+let station_port t ~station = Hashtbl.find_opt t.mac_table station
+
+let connect_station t ~port ~station handler =
+  Hashtbl.replace t.mac_table station port;
+  Link.set_receiver t.ports.(port).egress handler
+
+let set_fault_filter t f = t.fault <- f
+let frames_forwarded t = t.forwarded
+let frames_dropped t = t.dropped
+
+let forward t frame =
+  match Hashtbl.find_opt t.mac_table frame.Frame.dst with
+  | None -> t.dropped <- t.dropped + 1
+  | Some out ->
+    let p = t.ports.(out) in
+    let wire = Frame.wire_bytes frame in
+    if p.queued_bytes + wire > t.queue_limit then t.dropped <- t.dropped + 1
+    else begin
+      p.queued_bytes <- p.queued_bytes + wire;
+      t.forwarded <- t.forwarded + 1;
+      let finish = Link.busy_until p.egress + Link.transmit_time p.egress frame in
+      Link.send p.egress frame;
+      (* Reclaim queue space when the frame has left the port. *)
+      Sim.at t.sim finish (fun () -> p.queued_bytes <- p.queued_bytes - wire)
+    end
+
+let ingress t ~port:_ frame =
+  if t.fault frame then t.dropped <- t.dropped + 1
+  else
+    Sim.at t.sim (Sim.now t.sim + t.fwd_latency) (fun () -> forward t frame)

@@ -1,0 +1,37 @@
+(** Store-and-forward Ethernet switch (the testbed's Packet Engines
+    switch). Each port owns an egress link; a received frame incurs a
+    fixed forwarding latency, then queues on the destination port. Output
+    queues have a byte limit; overflowing frames are dropped (counted). *)
+
+type t
+
+val create :
+  Uls_engine.Sim.t ->
+  ?fwd_latency:Uls_engine.Time.ns ->
+  ?queue_limit:int ->
+  ports:int ->
+  unit ->
+  t
+(** Defaults: 2.5 us forwarding latency, 262144-byte output queues. *)
+
+val egress : t -> port:int -> Link.t
+(** The switch-to-station link of a port; attach the station's receive
+    handler to it. *)
+
+val station_port : t -> station:int -> int option
+
+val connect_station : t -> port:int -> station:int -> (Frame.t -> unit) -> unit
+(** Bind [station] (a node id used in frame src/dst) to [port] and set
+    its receive handler on the egress link. *)
+
+val ingress : t -> port:int -> Frame.t -> unit
+(** Deliver a frame arriving from the station side of [port] (normally
+    wired as the receiver of the station's uplink). Frames to unknown
+    stations or overflowing queues are dropped. *)
+
+val set_fault_filter : t -> (Frame.t -> bool) -> unit
+(** Filter applied at ingress; returning [true] drops the frame. Used by
+    tests and loss-injection experiments. *)
+
+val frames_forwarded : t -> int
+val frames_dropped : t -> int

@@ -1,0 +1,1 @@
+lib/host/cost_model.ml: Float Uls_engine

@@ -1,0 +1,1 @@
+lib/host/cost_model.mli: Uls_engine

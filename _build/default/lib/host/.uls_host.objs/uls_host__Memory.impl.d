@@ -1,0 +1,1 @@
+lib/host/memory.ml: Bytes Cost_model String Uls_engine

@@ -1,0 +1,1 @@
+lib/host/node.ml: Cost_model Memory Os Sim Time Uls_engine

@@ -1,0 +1,1 @@
+lib/host/node.mli: Cost_model Memory Os Uls_engine

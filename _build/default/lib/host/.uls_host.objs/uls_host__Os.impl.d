@@ -1,0 +1,1 @@
+lib/host/os.ml: Cost_model Hashtbl Memory Sim Uls_engine

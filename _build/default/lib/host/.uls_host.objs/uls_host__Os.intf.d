@@ -1,0 +1,1 @@
+lib/host/os.mli: Cost_model Memory Uls_engine

@@ -1,0 +1,55 @@
+(** Every latency/occupancy constant of the simulated testbed, in one
+    record. The [paper_testbed] preset is calibrated so the reproduced
+    micro-benchmarks land near the paper's headline numbers (EMP ~28 us,
+    substrate datagram ~28.5 us, data streaming ~37 us, TCP ~120 us for
+    4-byte messages; TCP ~340 Mb/s at 16 KB buffers, ~550 Mb/s tuned;
+    substrate >840 Mb/s). Experiments vary fields explicitly rather than
+    editing the preset. *)
+
+type t = {
+  (* Wire and switch *)
+  link_bits_per_ns : float;
+  link_propagation : Uls_engine.Time.ns;
+  switch_fwd_latency : Uls_engine.Time.ns;
+  (* Host CPU (Pentium III 700 MHz) *)
+  host_copy_ns_per_byte : float;
+  syscall : Uls_engine.Time.ns;
+  interrupt : Uls_engine.Time.ns;
+  context_switch : Uls_engine.Time.ns;
+  sched_wakeup : Uls_engine.Time.ns;  (** blocked process: event -> running *)
+  page_pin_syscall : Uls_engine.Time.ns;
+  page_pin_per_page : Uls_engine.Time.ns;
+  page_size : int;
+  pio_write : Uls_engine.Time.ns;  (** MMIO doorbell over PCI *)
+  poll_gap : Uls_engine.Time.ns;  (** host polling loop iteration *)
+  (* Tigon2 NIC (two 88 MHz MIPS cores) *)
+  nic_mailbox_fetch : Uls_engine.Time.ns;
+  nic_tx_per_msg : Uls_engine.Time.ns;
+  nic_tx_per_frame : Uls_engine.Time.ns;
+  nic_rx_classify : Uls_engine.Time.ns;
+  nic_rx_per_frame : Uls_engine.Time.ns;
+  nic_tag_match_per_desc : Uls_engine.Time.ns;  (** 550 ns: paper §6.3 *)
+  nic_ack_gen : Uls_engine.Time.ns;
+  dma_setup : Uls_engine.Time.ns;
+  dma_ns_per_byte : float;  (** PCI 64/66: ~528 MB/s *)
+  (* Kernel TCP/IP stack + Acenic-style driver *)
+  tcp_tx_per_segment : Uls_engine.Time.ns;
+  tcp_rx_per_segment : Uls_engine.Time.ns;
+  driver_tx_per_frame : Uls_engine.Time.ns;
+  driver_rx_per_frame : Uls_engine.Time.ns;
+  tcp_connect_kernel : Uls_engine.Time.ns;  (** per-end handshake bookkeeping *)
+  (* EMP host library *)
+  emp_host_post : Uls_engine.Time.ns;  (** descriptor build, user space *)
+  emp_host_reap : Uls_engine.Time.ns;  (** completion processing *)
+}
+
+val paper_testbed : t
+
+val copy_cost : t -> int -> Uls_engine.Time.ns
+(** Host memcpy cost for [n] bytes. *)
+
+val dma_cost : t -> int -> Uls_engine.Time.ns
+(** One DMA transaction moving [n] bytes across the PCI bus. *)
+
+val pin_cost : t -> bytes:int -> Uls_engine.Time.ns
+(** Pin-and-translate system call covering [bytes] (page granularity). *)

@@ -1,0 +1,25 @@
+type region = {
+  id : int;
+  data : Bytes.t;
+}
+
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+let alloc n = { id = fresh_id (); data = Bytes.make n '\000' }
+let of_string s = { id = fresh_id (); data = Bytes.of_string s }
+let length r = Bytes.length r.data
+let id r = r.id
+let bytes r = r.data
+let sub_string r ~off ~len = Bytes.sub_string r.data off len
+let blit_from_string s r ~off = Bytes.blit_string s 0 r.data off (String.length s)
+
+let blit ~src ~src_off ~dst ~dst_off ~len =
+  Bytes.blit src.data src_off dst.data dst_off len
+
+let copy sim model ~src ~src_off ~dst ~dst_off ~len =
+  blit ~src ~src_off ~dst ~dst_off ~len;
+  Uls_engine.Sim.delay sim (Cost_model.copy_cost model len)

@@ -1,0 +1,1 @@
+lib/nic/match_list.ml: List Uls_engine Vec

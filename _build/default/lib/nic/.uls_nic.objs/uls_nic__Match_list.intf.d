@@ -1,0 +1,1 @@
+lib/nic/match_list.mli:

@@ -1,0 +1,1 @@
+lib/nic/tigon.ml: Cost_model Printf Resource Sim Uls_engine Uls_ether Uls_host

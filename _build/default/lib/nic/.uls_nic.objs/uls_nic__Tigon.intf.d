@@ -1,0 +1,1 @@
+lib/nic/tigon.mli: Uls_engine Uls_ether Uls_host

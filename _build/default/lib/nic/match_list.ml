@@ -1,0 +1,73 @@
+open Uls_engine
+
+type 'a entry = {
+  src : int;
+  tag : int;
+  value : 'a;
+  mutable removed : bool;
+}
+
+type 'a t = {
+  entries : 'a entry Vec.t;
+  mutable live : int;
+}
+
+let create () = { entries = Vec.create (); live = 0 }
+let length t = t.live
+
+let compact t =
+  (* Drop removed entries once they dominate, preserving order. *)
+  if Vec.length t.entries > 32 && t.live * 2 < Vec.length t.entries then begin
+    let keep = Vec.fold (fun acc e -> if e.removed then acc else e :: acc) [] t.entries in
+    Vec.clear t.entries;
+    List.iter (Vec.push t.entries) (List.rev keep)
+  end
+
+let post t ~src ~tag value =
+  Vec.push t.entries { src; tag; value; removed = false };
+  t.live <- t.live + 1
+
+let matches e ~src ~tag =
+  (e.src = -1 || src = -1 || e.src = src) && (e.tag = -1 || tag = -1 || e.tag = tag)
+
+let take t ~src ~tag =
+  let n = Vec.length t.entries in
+  let rec walk i walked =
+    if i >= n then None
+    else begin
+      let e = Vec.get t.entries i in
+      if e.removed then walk (i + 1) walked
+      else if matches e ~src ~tag then begin
+        e.removed <- true;
+        t.live <- t.live - 1;
+        compact t;
+        Some (e.value, walked + 1)
+      end
+      else walk (i + 1) (walked + 1)
+    end
+  in
+  walk 0 0
+
+let unpost_all t =
+  let vs =
+    Vec.fold (fun acc e -> if e.removed then acc else e.value :: acc) [] t.entries
+  in
+  Vec.clear t.entries;
+  t.live <- 0;
+  List.rev vs
+
+let unpost_matching t pred =
+  let removed = ref [] in
+  Vec.iter
+    (fun e ->
+      if (not e.removed) && pred e.value then begin
+        e.removed <- true;
+        t.live <- t.live - 1;
+        removed := e.value :: !removed
+      end)
+    t.entries;
+  compact t;
+  List.rev !removed
+
+let iter t f =
+  Vec.iter (fun e -> if not e.removed then f e.value) t.entries

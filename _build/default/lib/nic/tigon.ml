@@ -1,0 +1,63 @@
+open Uls_engine
+open Uls_host
+
+type t = {
+  node_id : int;
+  sim : Sim.t;
+  model : Cost_model.t;
+  net : Uls_ether.Network.t;
+  tx_cpu : Resource.t;
+  rx_cpu : Resource.t;
+  dma_engine : Resource.t;
+  mutable firmware_rx : Uls_ether.Frame.t -> unit;
+  mutable rx_frames : int;
+}
+
+let create sim model net ~node =
+  let name part = Printf.sprintf "nic%d-%s" node part in
+  let t =
+    {
+      node_id = node;
+      sim;
+      model;
+      net;
+      tx_cpu = Resource.create sim ~name:(name "txcpu");
+      rx_cpu = Resource.create sim ~name:(name "rxcpu");
+      dma_engine = Resource.create sim ~name:(name "dma");
+      firmware_rx = (fun _ -> ());
+      rx_frames = 0;
+    }
+  in
+  Uls_ether.Network.attach net ~station:node (fun frame ->
+      t.rx_frames <- t.rx_frames + 1;
+      t.firmware_rx frame);
+  t
+
+let node_id t = t.node_id
+let sim t = t.sim
+let model t = t.model
+let set_firmware_rx t f = t.firmware_rx <- f
+
+(* The MAC has a small transmit FIFO: when more than ~8 full frames are
+   already queued on the wire, the transmitting firmware fiber stalls
+   until the backlog drains. Without this, a burst of posted messages
+   queues unbounded wire-time ahead of itself and reliability timers fire
+   long before the frames were ever transmitted. *)
+let tx_fifo_ns = 100_000
+
+let transmit t frame =
+  let uplink = Uls_ether.Network.uplink t.net ~station:t.node_id in
+  let backlog = Uls_ether.Link.busy_until uplink - Sim.now t.sim in
+  if backlog > tx_fifo_ns then Sim.delay t.sim (backlog - tx_fifo_ns);
+  Uls_ether.Network.send t.net frame
+let tx_work t d = Resource.use t.tx_cpu d
+let rx_work t d = Resource.use t.rx_cpu d
+let dma t ~bytes = Resource.use t.dma_engine (Cost_model.dma_cost t.model bytes)
+
+let mailbox_ring t =
+  ignore (Resource.completion_after t.tx_cpu t.model.Cost_model.nic_mailbox_fetch)
+
+let tx_cpu t = t.tx_cpu
+let rx_cpu t = t.rx_cpu
+let dma_engine t = t.dma_engine
+let frames_received t = t.rx_frames

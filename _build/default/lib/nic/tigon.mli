@@ -1,0 +1,39 @@
+(** Alteon Tigon2 NIC model. The chip's two embedded MIPS cores are
+    modelled as a send-side and a receive-side FIFO resource (the EMP
+    firmware dedicates one core to each direction); the DMA engine /
+    PCI bus is a third shared resource. Firmware behaviour (EMP or the
+    standard Acenic-style driver interface) is layered on top by the
+    protocol libraries via {!set_firmware_rx} and the work/DMA hooks. *)
+
+type t
+
+val create :
+  Uls_engine.Sim.t -> Uls_host.Cost_model.t -> Uls_ether.Network.t -> node:int -> t
+
+val node_id : t -> int
+val sim : t -> Uls_engine.Sim.t
+val model : t -> Uls_host.Cost_model.t
+
+val set_firmware_rx : t -> (Uls_ether.Frame.t -> unit) -> unit
+(** Install the handler invoked (in plain event context) for each frame
+    the MAC delivers to this NIC. *)
+
+val transmit : t -> Uls_ether.Frame.t -> unit
+(** Hand a frame to the MAC for transmission on the station uplink. *)
+
+val tx_work : t -> Uls_engine.Time.ns -> unit
+(** Occupy the send core for the given processing time (fiber). *)
+
+val rx_work : t -> Uls_engine.Time.ns -> unit
+
+val dma : t -> bytes:int -> unit
+(** One DMA transaction over the PCI bus (fiber): setup + per-byte. *)
+
+val mailbox_ring : t -> unit
+(** Host doorbell: charge the send core the mailbox-fetch cost
+    asynchronously (does not block the caller). *)
+
+val tx_cpu : t -> Uls_engine.Resource.t
+val rx_cpu : t -> Uls_engine.Resource.t
+val dma_engine : t -> Uls_engine.Resource.t
+val frames_received : t -> int

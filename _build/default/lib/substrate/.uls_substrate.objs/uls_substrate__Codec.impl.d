@@ -1,0 +1,1 @@
+lib/substrate/codec.ml: Bytes Int64 List String Uls_host

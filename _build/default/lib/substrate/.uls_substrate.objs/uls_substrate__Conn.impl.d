@@ -1,0 +1,1 @@
+lib/substrate/conn.ml: Array Codec Cond Cost_model Mailbox Memory Node Options Os Queue Sendpool Sim String Tags Time Uls_api Uls_emp Uls_engine Uls_host

@@ -1,0 +1,1 @@
+lib/substrate/conn.mli: Options Sendpool Uls_api Uls_emp Uls_host

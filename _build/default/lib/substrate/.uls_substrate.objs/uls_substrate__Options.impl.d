@@ -1,0 +1,1 @@
+lib/substrate/options.ml: Uls_engine

@@ -1,0 +1,1 @@
+lib/substrate/sendpool.ml: Array Memory Node Os String Uls_emp Uls_host

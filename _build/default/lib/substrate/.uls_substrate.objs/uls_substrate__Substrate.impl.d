@@ -1,0 +1,1 @@
+lib/substrate/substrate.ml: Array Codec Cond Conn Hashtbl List Mailbox Memory Node Options Os Sendpool Sim Tags Uls_api Uls_emp Uls_engine Uls_host

@@ -1,0 +1,1 @@
+lib/substrate/substrate.mli: Conn Options Uls_api Uls_emp Uls_engine Uls_host

@@ -1,0 +1,1 @@
+lib/substrate/tags.ml:

@@ -1,0 +1,593 @@
+(** One substrate connection.
+
+    Receive side: N pre-posted data descriptors pointing at temporary
+    credit buffers (eager scheme, §5.2), plus either N pre-posted ack
+    descriptors or unexpected-queue ack consumption (§6.4), plus one
+    descriptor each for rendezvous requests, rendezvous grants and the
+    "closed" control message (§5.3). Send side: credit-based flow
+    control with delayed and piggy-backed acknowledgments (§6.1–6.3).
+    Messages carry a per-connection sequence number so eager and
+    rendezvous traffic interleave in FIFO order at the reader. *)
+
+open Uls_engine
+open Uls_host
+module E = Uls_emp.Endpoint
+
+type env = {
+  node : Node.t;
+  emp : E.t;
+  opts : Options.t;
+  ctrl_pool : Sendpool.t;  (* registered ring for small control messages *)
+  notify : unit -> unit;
+  release_id : int -> unit;
+}
+
+type slot = {
+  sl_region : Memory.region;
+  mutable sl_current : E.recv option;
+}
+
+type ready = {
+  rd_seq : int;
+  rd_slot : slot;
+  rd_len : int; (* payload bytes *)
+  mutable rd_off : int; (* consumed payload bytes (streaming reads) *)
+}
+
+type rdvz_req = {
+  rq_seq : int;
+  rq_id : int;
+  rq_size : int;
+}
+
+type t = {
+  env : env;
+  id : int;
+  peer_node : int;
+  mutable peer_conn : int;
+  local_addr : Uls_api.Sockets_api.addr;
+  mutable peer_addr : Uls_api.Sockets_api.addr;
+  (* send side *)
+  mutable credits : int;
+  credits_c : Cond.t;
+  mutable next_seq : int;
+  mutable next_rdvz : int;
+  data_pool : Sendpool.t;
+  mutable rdvz_tx : Memory.region;  (* grow-on-demand registered buffer *)
+  mutable rdvz_tx_pending : E.send option;
+  mutable rdvz_rx : Memory.region;
+  grant_q : int Mailbox.t;
+  (* receive side *)
+  data_slots : slot array;
+  spare_slots : slot Queue.t;  (* Comm_thread scheme: repost pool *)
+  ack_slots : slot array;
+  req_slot : slot;
+  grant_slot : slot;
+  close_slot : slot;
+  rx_handles : (slot * E.recv) Mailbox.t;
+  rx_ready : ready Queue.t;
+  req_q : rdvz_req Queue.t;
+  mutable expected_seq : int;
+  mutable consumed_since_ack : int;
+  mutable ack_holdoff_armed : bool;
+  readable_c : Cond.t;
+  mutable peer_closed : bool;
+  mutable close_seq : int;
+  (** sequence number carried by the peer's "closed" message: messages
+      below it are still due and must be delivered before EOF (a short
+      close message can physically overtake a long data message) *)
+  mutable closed : bool;
+}
+
+exception Closed = Uls_api.Sockets_api.Connection_closed
+
+let opts t = t.env.opts
+let sim t = Node.sim t.env.node
+let id t = t.id
+let local_addr t = t.local_addr
+let peer_addr t = t.peer_addr
+let set_peer t ~conn ~addr =
+  t.peer_conn <- conn;
+  t.peer_addr <- addr
+
+let wake_all t =
+  Cond.broadcast t.readable_c;
+  Cond.broadcast t.credits_c;
+  (* Unblock a writer waiting for a rendezvous grant (Figure 7: the
+     grant will never come once either side is closed). *)
+  Mailbox.send t.grant_q (-1);
+  t.env.notify ()
+
+(* --- outgoing messages ---------------------------------------------- *)
+
+let post_ctrl t ~tag data =
+  ignore (Sendpool.send t.env.ctrl_pool ~dst:t.peer_node ~tag data)
+
+let post_data t ~tag data =
+  ignore (Sendpool.send t.data_pool ~dst:t.peer_node ~tag data)
+
+let send_credit_ack t =
+  if t.consumed_since_ack > 0 && t.peer_conn >= 0 && not t.peer_closed then begin
+    let count = t.consumed_since_ack in
+    t.consumed_since_ack <- 0;
+    post_ctrl t ~tag:(Tags.make Tags.Credit_ack t.peer_conn) (Codec.encode [ count ])
+  end
+
+let piggyback_credits t =
+  if (opts t).Options.piggyback && t.consumed_since_ack > 0 then begin
+    let c = t.consumed_since_ack in
+    t.consumed_since_ack <- 0;
+    c
+  end
+  else 0
+
+let take_credit t =
+  let rec wait () =
+    if t.closed || t.peer_closed then raise Closed;
+    if t.credits = 0 then begin
+      Cond.wait t.credits_c;
+      wait ()
+    end
+    else t.credits <- t.credits - 1
+  in
+  wait ()
+
+let add_credits t n =
+  if n > 0 then begin
+    t.credits <- t.credits + n;
+    Cond.broadcast t.credits_c
+  end
+
+(* --- descriptor posting ---------------------------------------------- *)
+
+let post_slot t slot ~tag =
+  let r =
+    E.post_recv t.env.emp ~src:t.peer_node ~tag slot.sl_region ~off:0
+      ~len:(Memory.length slot.sl_region)
+  in
+  slot.sl_current <- Some r;
+  r
+
+let repost_data_slot t slot =
+  let r = post_slot t slot ~tag:(Tags.make Tags.Data t.id) in
+  Mailbox.send t.rx_handles (slot, r)
+
+(* --- receive fibers --------------------------------------------------- *)
+
+let rx_fiber t () =
+  let rec loop () =
+    let slot, recv = Mailbox.recv t.rx_handles in
+    let len, _, _ = E.wait_recv t.env.emp recv in
+    if len >= 0 && not t.closed then begin
+      slot.sl_current <- None;
+      match Codec.decode_region slot.sl_region ~off:0 ~count:2 with
+      | [ seq; piggy ] ->
+        add_credits t piggy;
+        if (opts t).Options.scheme = Options.Comm_thread then begin
+          (* The communication thread notices the used descriptor and
+             reposts a spare at once — paying the polling-thread
+             synchronisation cost the paper measured (§5.2). *)
+          Node.compute t.env.node (opts t).Options.comm_thread_sync;
+          match Queue.take_opt t.spare_slots with
+          | Some spare -> repost_data_slot t spare
+          | None -> ()
+        end;
+        Queue.push
+          { rd_seq = seq; rd_slot = slot; rd_len = len - Options.header_bytes; rd_off = 0 }
+          t.rx_ready;
+        Cond.broadcast t.readable_c;
+        t.env.notify ();
+        loop ()
+      | _ -> assert false
+    end
+  in
+  loop ()
+
+let ack_fiber t slot () =
+  let rec loop () =
+    match slot.sl_current with
+    | None -> ()
+    | Some recv ->
+      let len, _, _ = E.wait_recv t.env.emp recv in
+      if len >= 0 && not t.closed then begin
+        (match Codec.decode_region slot.sl_region ~off:0 ~count:1 with
+        | [ count ] -> add_credits t count
+        | _ -> assert false);
+        ignore (post_slot t slot ~tag:(Tags.make Tags.Credit_ack t.id));
+        loop ()
+      end
+  in
+  loop ()
+
+(* §6.4: with the unexpected-queue option, ack messages carry no
+   pre-posted descriptor at all — they land in the EMP unexpected queue
+   (walked last), keeping the data-descriptor match walk short. *)
+let uq_ack_fiber t () =
+  let tag = Tags.make Tags.Credit_ack t.id in
+  let region = Memory.alloc 16 in
+  Os.prepin (Node.os t.env.node) region;
+  let rec loop () =
+    if t.closed then ()
+    else if E.uq_has_match t.env.emp ~src:t.peer_node ~tag then begin
+      let r = E.post_recv t.env.emp ~src:t.peer_node ~tag region ~off:0 ~len:16 in
+      let len, _, _ = E.wait_recv t.env.emp r in
+      if len >= 0 then begin
+        (match Codec.decode_region region ~off:0 ~count:1 with
+        | [ count ] -> add_credits t count
+        | _ -> assert false);
+        loop ()
+      end
+    end
+    else begin
+      (* Event-driven: the endpoint broadcasts on UQ arrivals, and close
+         broadcasts too so this fiber can exit. *)
+      Cond.wait (E.uq_arrival_cond t.env.emp);
+      loop ()
+    end
+  in
+  loop ()
+
+let req_fiber t () =
+  let rec loop () =
+    match t.req_slot.sl_current with
+    | None -> ()
+    | Some recv ->
+      let len, _, _ = E.wait_recv t.env.emp recv in
+      if len >= 0 && not t.closed then begin
+        (match Codec.decode_region t.req_slot.sl_region ~off:0 ~count:3 with
+        | [ seq; rid; size ] ->
+          ignore (post_slot t t.req_slot ~tag:(Tags.make Tags.Rdvz_request t.id));
+          Queue.push { rq_seq = seq; rq_id = rid; rq_size = size } t.req_q;
+          Cond.broadcast t.readable_c;
+          t.env.notify ()
+        | _ -> assert false);
+        loop ()
+      end
+  in
+  loop ()
+
+let grant_fiber t () =
+  let rec loop () =
+    match t.grant_slot.sl_current with
+    | None -> ()
+    | Some recv ->
+      let len, _, _ = E.wait_recv t.env.emp recv in
+      if len >= 0 && not t.closed then begin
+        (match Codec.decode_region t.grant_slot.sl_region ~off:0 ~count:1 with
+        | [ rid ] ->
+          ignore (post_slot t t.grant_slot ~tag:(Tags.make Tags.Rdvz_grant t.id));
+          Mailbox.send t.grant_q rid
+        | _ -> assert false);
+        loop ()
+      end
+  in
+  loop ()
+
+let close_watch_fiber t () =
+  match t.close_slot.sl_current with
+  | None -> ()
+  | Some recv ->
+    let len, _, _ = E.wait_recv t.env.emp recv in
+    if len >= 0 then begin
+      (match Codec.decode_region t.close_slot.sl_region ~off:0 ~count:1 with
+      | [ seq ] -> t.close_seq <- seq
+      | _ -> t.close_seq <- 0);
+      t.peer_closed <- true;
+      wake_all t
+    end
+
+(* --- write ------------------------------------------------------------ *)
+
+(* The rendezvous transmit buffer stands in for the application's own
+   (reused, hence pin-cached) large buffer; it grows when a bigger write
+   appears, paying the pin for the new region — as a real first-time
+   registration would. *)
+let rdvz_tx_region t len =
+  (match t.rdvz_tx_pending with
+  | Some s when not (E.send_done s) -> (
+    try E.wait_send t.env.emp s with E.Send_failed _ -> ())
+  | _ -> ());
+  t.rdvz_tx_pending <- None;
+  if Memory.length t.rdvz_tx < len then t.rdvz_tx <- Memory.alloc len;
+  t.rdvz_tx
+
+let rendezvous_write t data =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.next_rdvz <- t.next_rdvz + 1;
+  let rid = t.next_rdvz in
+  post_ctrl t
+    ~tag:(Tags.make Tags.Rdvz_request t.peer_conn)
+    (Codec.encode [ seq; rid; String.length data ]);
+  (* Block until the receiver has synchronised (Figure 6). *)
+  let granted = Mailbox.recv t.grant_q in
+  if granted <> rid then raise Closed;
+  if t.closed || t.peer_closed then raise Closed;
+  let region = rdvz_tx_region t (String.length data) in
+  Memory.blit_from_string data region ~off:0;
+  let s =
+    E.post_send t.env.emp ~dst:t.peer_node
+      ~tag:(Tags.make Tags.Rdvz_data t.peer_conn)
+      region ~off:0 ~len:(String.length data)
+  in
+  t.rdvz_tx_pending <- Some s
+
+let eager_write t data =
+  let o = opts t in
+  let cap = Options.chunk_capacity o in
+  let len = String.length data in
+  let uses_credits = o.Options.scheme <> Options.Comm_thread in
+  let rec chunks off =
+    if off < len then begin
+      let n = min cap (len - off) in
+      if uses_credits then take_credit t;
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      let hdr = Codec.encode [ seq; piggyback_credits t ] in
+      post_data t
+        ~tag:(Tags.make Tags.Data t.peer_conn)
+        (hdr ^ String.sub data off n);
+      if uses_credits && o.Options.block_send then begin
+        (* §6.1 "blocking the send": wait until the receiver has
+           acknowledged (credits fully restored) — a round trip per
+           message. *)
+        Cond.wait_until t.credits_c (fun () ->
+            t.closed || t.peer_closed || t.credits = o.Options.credits);
+        if t.closed || t.peer_closed then raise Closed
+      end;
+      chunks (off + n)
+    end
+  in
+  chunks 0
+
+let uses_rendezvous t len =
+  match (opts t).Options.scheme with
+  | Options.Rendezvous -> true
+  | Options.Comm_thread -> false
+  | Options.Eager -> (
+    match (opts t).Options.mode with
+    | Options.Datagram ->
+      len > (opts t).Options.eager_max || len > Options.chunk_capacity (opts t)
+    | Options.Data_streaming -> false)
+
+let write t data =
+  if t.closed || t.peer_closed then raise Closed;
+  if t.peer_conn < 0 then raise Closed;
+  if String.length data > 0 then begin
+    Node.compute t.env.node (opts t).Options.write_overhead;
+    if uses_rendezvous t (String.length data) then rendezvous_write t data
+    else eager_write t data
+  end
+
+(* --- read -------------------------------------------------------------- *)
+
+type next_item =
+  | Nothing
+  | Eof
+  | Eager_msg of ready
+  | Rdvz of rdvz_req
+
+let next_item t =
+  let eager = Queue.peek_opt t.rx_ready in
+  let rdvz = Queue.peek_opt t.req_q in
+  match (eager, rdvz) with
+  | Some r, _ when r.rd_seq = t.expected_seq -> Eager_msg r
+  | _, Some q when q.rq_seq = t.expected_seq -> Rdvz q
+  | None, None when t.peer_closed && t.expected_seq >= t.close_seq -> Eof
+  | _ -> Nothing
+
+(* With piggy-backing on, hold the explicit ack briefly: a reverse-
+   direction write inside the holdoff carries the credits for free
+   (§6.1); otherwise the timer sends the explicit ack. *)
+let piggyback_holdoff = Time.us 15
+
+let ack_due t =
+  if (opts t).Options.piggyback then begin
+    if not t.ack_holdoff_armed then begin
+      t.ack_holdoff_armed <- true;
+      Sim.at (sim t)
+        (Sim.now (sim t) + piggyback_holdoff)
+        (fun () ->
+          t.ack_holdoff_armed <- false;
+          if
+            t.consumed_since_ack >= Options.ack_threshold (opts t)
+            && not t.closed
+          then Sim.spawn (sim t) ~name:"sub-ack-timer" (fun () -> send_credit_ack t))
+    end
+  end
+  else send_credit_ack t
+
+let message_consumed t slot =
+  ignore (Queue.pop t.rx_ready);
+  t.expected_seq <- t.expected_seq + 1;
+  if (opts t).Options.scheme = Options.Comm_thread then
+    (* No credits/acks: the comm thread reposts the freed buffer so a
+       previously overloaded connection can make progress again. *)
+    repost_data_slot t slot
+  else begin
+    repost_data_slot t slot;
+    t.consumed_since_ack <- t.consumed_since_ack + 1;
+    if t.consumed_since_ack >= Options.ack_threshold (opts t) then ack_due t
+  end
+
+let copy_out t region ~off ~len =
+  let s = Memory.sub_string region ~off ~len in
+  (* The receiver-side copy the eager scheme pays (§5.2). *)
+  Node.compute t.env.node (Cost_model.copy_cost (Node.model t.env.node) len);
+  s
+
+let read_eager t r n =
+  match (opts t).Options.mode with
+  | Options.Data_streaming ->
+    let m = min n (r.rd_len - r.rd_off) in
+    let s =
+      copy_out t r.rd_slot.sl_region ~off:(Options.header_bytes + r.rd_off) ~len:m
+    in
+    r.rd_off <- r.rd_off + m;
+    if r.rd_off = r.rd_len then message_consumed t r.rd_slot;
+    s
+  | Options.Datagram ->
+    let m = min n r.rd_len in
+    let s = copy_out t r.rd_slot.sl_region ~off:Options.header_bytes ~len:m in
+    message_consumed t r.rd_slot;
+    s
+
+(* Rendezvous receive: post the user buffer directly (zero-copy: the NIC
+   DMAs into it), grant, and wait for the data. The reusable rdvz_rx
+   region models the application's own receive buffer. *)
+let read_rdvz t (q : rdvz_req) n =
+  ignore (Queue.pop t.req_q);
+  let cap = max 1 (min n q.rq_size) in
+  if Memory.length t.rdvz_rx < cap then t.rdvz_rx <- Memory.alloc cap;
+  let region = t.rdvz_rx in
+  let r =
+    E.post_recv t.env.emp ~src:t.peer_node
+      ~tag:(Tags.make Tags.Rdvz_data t.id)
+      region ~off:0 ~len:cap
+  in
+  post_ctrl t
+    ~tag:(Tags.make Tags.Rdvz_grant t.peer_conn)
+    (Codec.encode [ q.rq_id ]);
+  let len, _, _ = E.wait_recv t.env.emp r in
+  t.expected_seq <- t.expected_seq + 1;
+  if len < 0 then ""
+  else Memory.sub_string region ~off:0 ~len:(min len cap)
+
+let read t n =
+  if t.closed then raise Closed;
+  if n <= 0 then ""
+  else begin
+    Node.compute t.env.node (opts t).Options.read_overhead;
+    let rec wait () =
+      if t.closed then raise Closed;
+      match next_item t with
+      | Eager_msg r -> read_eager t r n
+      | Rdvz q -> read_rdvz t q n
+      | Eof -> ""
+      | Nothing ->
+        Cond.wait t.readable_c;
+        wait ()
+    in
+    wait ()
+  end
+
+let readable t =
+  t.closed || t.peer_closed
+  || (match next_item t with Nothing -> false | _ -> true)
+
+(* --- lifecycle ---------------------------------------------------------- *)
+
+let unpost_everything t =
+  let unpost slot =
+    match slot.sl_current with
+    | Some r ->
+      ignore (E.unpost_recv t.env.emp r);
+      slot.sl_current <- None
+    | None -> ()
+  in
+  Array.iter unpost t.data_slots;
+  Array.iter unpost t.ack_slots;
+  unpost t.req_slot;
+  unpost t.grant_slot;
+  unpost t.close_slot;
+  (* Descriptors whose completion is already queued for the rx fiber. *)
+  let rec drain () =
+    match Mailbox.try_recv t.rx_handles with
+    | Some (slot, r) ->
+      ignore (E.unpost_recv t.env.emp r);
+      ignore slot;
+      drain ()
+    | None -> ()
+  in
+  drain ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    if t.peer_conn >= 0 && not t.peer_closed then
+      post_ctrl t
+        ~tag:(Tags.make Tags.Close t.peer_conn)
+        (Codec.encode [ t.next_seq ]);
+    unpost_everything t;
+    wake_all t;
+    (* Wake the UQ ack fiber so it observes [closed] and exits. *)
+    Cond.broadcast (E.uq_arrival_cond t.env.emp);
+    t.env.release_id t.id
+  end
+
+let create env ~id ~peer_node ~peer_conn ~local_addr ~peer_addr =
+  let opts = env.opts in
+  let mk_slot size =
+    let region = Memory.alloc size in
+    (* Credit buffers come from the library's registered pool: pinned
+       once at allocation, so per-connection descriptor posting pays
+       only the post itself (the overhead §7.4 discusses), not a pin
+       system call per buffer. *)
+    Os.prepin (Node.os env.node) region;
+    { sl_region = region; sl_current = None }
+  in
+  let n = opts.Options.credits in
+  let t =
+    {
+      env;
+      id;
+      peer_node;
+      peer_conn;
+      local_addr;
+      peer_addr;
+      credits = n;
+      credits_c = Cond.create (Node.sim env.node);
+      next_seq = 0;
+      next_rdvz = 0;
+      data_pool =
+        Sendpool.create env.node env.emp ~slots:(max 2 n)
+          ~size:opts.Options.buffer_size;
+      rdvz_tx = Memory.alloc 16;
+      rdvz_tx_pending = None;
+      rdvz_rx = Memory.alloc 16;
+      grant_q = Mailbox.create (Node.sim env.node);
+      data_slots = Array.init n (fun _ -> mk_slot opts.Options.buffer_size);
+      spare_slots =
+        (let q = Queue.create () in
+         if opts.Options.scheme = Options.Comm_thread then
+           for _ = 1 to n do
+             Queue.push (mk_slot opts.Options.buffer_size) q
+           done;
+         q);
+      ack_slots =
+        (if opts.Options.unexpected_queue || opts.Options.scheme = Options.Comm_thread
+         then [||]
+         else Array.init n (fun _ -> mk_slot 16));
+      req_slot = mk_slot 64;
+      grant_slot = mk_slot 64;
+      close_slot = mk_slot 16;
+      rx_handles = Mailbox.create (Node.sim env.node);
+      rx_ready = Queue.create ();
+      req_q = Queue.create ();
+      expected_seq = 0;
+      consumed_since_ack = 0;
+      ack_holdoff_armed = false;
+      readable_c = Cond.create (Node.sim env.node);
+      peer_closed = false;
+      close_seq = max_int;
+      closed = false;
+    }
+  in
+  (* Post the connection's descriptors: N data (+ N ack unless UQ) plus
+     the three control descriptors — the 2N provisioning of §6.1. *)
+  Array.iter (fun slot -> repost_data_slot t slot) t.data_slots;
+  Array.iter
+    (fun slot ->
+      ignore (post_slot t slot ~tag:(Tags.make Tags.Credit_ack t.id));
+      Sim.spawn (sim t) ~name:"sub-ack" (ack_fiber t slot))
+    t.ack_slots;
+  ignore (post_slot t t.req_slot ~tag:(Tags.make Tags.Rdvz_request t.id));
+  ignore (post_slot t t.grant_slot ~tag:(Tags.make Tags.Rdvz_grant t.id));
+  ignore (post_slot t t.close_slot ~tag:(Tags.make Tags.Close t.id));
+  Sim.spawn (sim t) ~name:"sub-rx" (rx_fiber t);
+  if opts.Options.unexpected_queue then
+    Sim.spawn (sim t) ~name:"sub-uq-ack" (uq_ack_fiber t);
+  Sim.spawn (sim t) ~name:"sub-req" (req_fiber t);
+  Sim.spawn (sim t) ~name:"sub-grant" (grant_fiber t);
+  Sim.spawn (sim t) ~name:"sub-close" (close_watch_fiber t);
+  t

@@ -1,0 +1,56 @@
+(** One substrate connection: N pre-posted data descriptors over credit
+    buffers (eager scheme, §5.2), ack descriptors or unexpected-queue
+    ack consumption (§6.4), rendezvous request/grant/data descriptors,
+    and the "closed" control descriptor (§5.3). Send side implements
+    credit-based flow control with delayed and piggy-backed
+    acknowledgments (§6.1–6.3), plus the paper's rejected alternatives
+    (pure rendezvous, separate communication thread, blocking send) for
+    the ablation studies. *)
+
+type env = {
+  node : Uls_host.Node.t;
+  emp : Uls_emp.Endpoint.t;
+  opts : Options.t;
+  ctrl_pool : Sendpool.t;  (** registered ring for small control messages *)
+  notify : unit -> unit;  (** substrate activity hook for select() *)
+  release_id : int -> unit;  (** drop from the active-socket table *)
+}
+
+type slot = {
+  sl_region : Uls_host.Memory.region;
+  mutable sl_current : Uls_emp.Endpoint.recv option;
+}
+(** A receive buffer with its currently posted descriptor (also used by
+    the listener's backlog descriptors). *)
+
+type t
+
+val create :
+  env ->
+  id:int ->
+  peer_node:int ->
+  peer_conn:int ->
+  local_addr:Uls_api.Sockets_api.addr ->
+  peer_addr:Uls_api.Sockets_api.addr ->
+  t
+(** Builds the connection and posts all of its descriptors (the 2N+3
+    provisioning of §6.1); spawns its receive/control fibers.
+    [peer_conn] may be [-1] until {!set_peer} (client side). *)
+
+val id : t -> int
+val local_addr : t -> Uls_api.Sockets_api.addr
+val peer_addr : t -> Uls_api.Sockets_api.addr
+val set_peer : t -> conn:int -> addr:Uls_api.Sockets_api.addr -> unit
+
+val write : t -> string -> unit
+(** Blocking send honouring the configured scheme (eager+credits,
+    rendezvous, or comm-thread). @raise Uls_api.Sockets_api.Connection_closed *)
+
+val read : t -> int -> string
+(** Blocking receive: byte-stream semantics in data-streaming mode,
+    whole-message semantics in datagram mode; [""] at end of stream. *)
+
+val readable : t -> bool
+val close : t -> unit
+(** Sends the "closed" control message (sequence-numbered so it cannot
+    overtake in-flight data) and unposts every descriptor. Idempotent. *)

@@ -1,0 +1,52 @@
+(** Ring of reusable, registered send buffers. The real substrate
+    transmits from user/library buffers that are pinned once and hit the
+    EMP translation cache afterwards (§2); modelling each message as a
+    fresh region would charge a pin system call per send. A slot is
+    reused once its previous send has been fully acknowledged. *)
+
+open Uls_host
+module E = Uls_emp.Endpoint
+
+type slot = {
+  region : Memory.region;
+  mutable pending : E.send option;
+}
+
+type t = {
+  emp : E.t;
+  slots : slot array;
+  mutable next : int;
+}
+
+let create node emp ~slots ~size =
+  let mk _ =
+    let region = Memory.alloc size in
+    (* Ring buffers are registered at pool-creation (connection setup)
+       time, so steady-state sends always hit the translation cache. *)
+    Os.prepin (Node.os node) region;
+    { region; pending = None }
+  in
+  { emp; slots = Array.init slots mk; next = 0 }
+
+let slot_size t = Memory.length t.slots.(0).region
+
+(** Copy [data] into the next ring slot and post the send. Blocks only
+    when the ring wraps onto a send that is still in flight. The blit is
+    free of simulated cost: it models the application reusing its own
+    (already pinned) buffer, not an extra protocol copy. *)
+let send t ~dst ~tag data =
+  let len = String.length data in
+  if len > slot_size t then invalid_arg "Sendpool.send: message too large";
+  let slot = t.slots.(t.next) in
+  t.next <- (t.next + 1) mod Array.length t.slots;
+  (match slot.pending with
+  | Some s when not (E.send_done s) -> (
+    (* A failed earlier send (peer closed mid-retransmission) still
+       frees the slot. *)
+    try E.wait_send t.emp s with E.Send_failed _ -> ())
+  | _ -> ());
+  slot.pending <- None;
+  Memory.blit_from_string data slot.region ~off:0;
+  let s = E.post_send t.emp ~dst ~tag slot.region ~off:0 ~len in
+  slot.pending <- Some s;
+  s

@@ -1,0 +1,255 @@
+(** Per-node substrate instance: the user-level library that maps the
+    sockets interface onto EMP (Figure 5). Connection management is the
+    data-message-exchange scheme of §5.1: [listen] pre-posts [backlog]
+    request descriptors on the port's tag; [connect] sends an explicit
+    request message carrying the client's identity and waits for the
+    reply. An active-socket table tracks every open connection so close
+    reclaims all NIC descriptors (§5.3). *)
+
+open Uls_engine
+open Uls_host
+module E = Uls_emp.Endpoint
+
+type request = {
+  rq_node : int;
+  rq_conn : int;
+  rq_port : int;
+}
+
+type listener = {
+  l_port : int;
+  l_requests : request Mailbox.t;
+  l_slots : Conn.slot array;
+  l_handles : (Conn.slot * E.recv) Mailbox.t;
+  mutable l_closed : bool;
+}
+
+type t = {
+  node : Node.t;
+  emp : E.t;
+  opts : Options.t;
+  ctrl_pool : Sendpool.t;
+  conns : (int, Conn.t) Hashtbl.t;
+  listeners : (int, listener) Hashtbl.t;
+  activity : Cond.t;
+  mutable next_id : int;
+  mutable next_eport : int;
+}
+
+let node_id t = Node.id t.node
+let sim t = Node.sim t.node
+let activity t = t.activity
+let options t = t.opts
+let emp t = t.emp
+let active_connections t = Hashtbl.length t.conns
+
+let create ?(opts = Options.data_streaming_enhanced) node emp =
+  if opts.Options.unexpected_queue then
+    E.provision_unexpected emp ~slots:((4 * opts.Options.credits) + 32) ~size:64;
+  {
+    node;
+    emp;
+    opts;
+    ctrl_pool = Sendpool.create node emp ~slots:64 ~size:256;
+    conns = Hashtbl.create 32;
+    listeners = Hashtbl.create 8;
+    activity = Cond.create (Node.sim node);
+    next_id = 0;
+    next_eport = 40_000;
+  }
+
+let alloc_id t =
+  let rec search tries =
+    if tries > Tags.max_id then failwith "substrate: connection ids exhausted";
+    t.next_id <- (t.next_id + 1) land Tags.max_id;
+    if Hashtbl.mem t.conns t.next_id then search (tries + 1) else t.next_id
+  in
+  search 0
+
+let conn_env t =
+  {
+    Conn.node = t.node;
+    emp = t.emp;
+    opts = t.opts;
+    ctrl_pool = t.ctrl_pool;
+    notify = (fun () -> Cond.broadcast t.activity);
+    release_id = (fun id -> Hashtbl.remove t.conns id);
+  }
+
+(* --- listen / accept -------------------------------------------------- *)
+
+let listener_fiber t l () =
+  let rec loop () =
+    let slot, recv = Mailbox.recv l.l_handles in
+    let len, _, _ = E.wait_recv t.emp recv in
+    if len >= 0 && not l.l_closed then begin
+      (match Codec.decode_region slot.Conn.sl_region ~off:0 ~count:3 with
+      | [ rq_node; rq_conn; rq_port ] ->
+        (* Repost the backlog descriptor, then queue the request. *)
+        let r =
+          E.post_recv t.emp ~src:(-1)
+            ~tag:(Tags.make Tags.Conn_request l.l_port)
+            slot.Conn.sl_region ~off:0
+            ~len:(Memory.length slot.Conn.sl_region)
+        in
+        slot.Conn.sl_current <- Some r;
+        Mailbox.send l.l_handles (slot, r);
+        Mailbox.send l.l_requests { rq_node; rq_conn; rq_port };
+        Cond.broadcast t.activity
+      | _ -> assert false);
+      loop ()
+    end
+  in
+  loop ()
+
+let listen t ~port ~backlog =
+  if port < 0 || port > Tags.max_id then invalid_arg "substrate: port > 4095";
+  if Hashtbl.mem t.listeners port then
+    raise (Uls_api.Sockets_api.Bind_in_use { node = node_id t; port });
+  let backlog = max 1 backlog in
+  let l =
+    {
+      l_port = port;
+      l_requests = Mailbox.create (sim t);
+      l_slots =
+        Array.init backlog (fun _ ->
+            let region = Memory.alloc t.opts.Options.backlog_request_bytes in
+            Os.prepin (Node.os t.node) region;
+            { Conn.sl_region = region; sl_current = None });
+      l_handles = Mailbox.create (sim t);
+      l_closed = false;
+    }
+  in
+  Array.iter
+    (fun slot ->
+      let r =
+        E.post_recv t.emp ~src:(-1)
+          ~tag:(Tags.make Tags.Conn_request port)
+          slot.Conn.sl_region ~off:0
+          ~len:(Memory.length slot.Conn.sl_region)
+      in
+      slot.Conn.sl_current <- Some r;
+      Mailbox.send l.l_handles (slot, r))
+    l.l_slots;
+  Hashtbl.replace t.listeners port l;
+  Sim.spawn (sim t) ~name:"sub-listen" (listener_fiber t l);
+  l
+
+let accept t l =
+  if l.l_closed then raise Uls_api.Sockets_api.Connection_closed;
+  let rq = Mailbox.recv l.l_requests in
+  let id = alloc_id t in
+  let peer_addr = { Uls_api.Sockets_api.node = rq.rq_node; port = rq.rq_port } in
+  let conn =
+    Conn.create (conn_env t) ~id ~peer_node:rq.rq_node ~peer_conn:rq.rq_conn
+      ~local_addr:{ Uls_api.Sockets_api.node = node_id t; port = l.l_port }
+      ~peer_addr
+  in
+  Hashtbl.replace t.conns id conn;
+  (* Reply carries the server-side connection id. *)
+  ignore
+    (Sendpool.send t.ctrl_pool ~dst:rq.rq_node
+       ~tag:(Tags.make Tags.Conn_reply rq.rq_conn)
+       (Codec.encode [ id ]));
+  (conn, peer_addr)
+
+let acceptable l = not (Mailbox.is_empty l.l_requests)
+
+let close_listener t l =
+  if not l.l_closed then begin
+    l.l_closed <- true;
+    Hashtbl.remove t.listeners l.l_port;
+    Array.iter
+      (fun slot ->
+        match slot.Conn.sl_current with
+        | Some r ->
+          ignore (E.unpost_recv t.emp r);
+          slot.Conn.sl_current <- None
+        | None -> ())
+      l.l_slots
+  end
+
+(* --- connect ----------------------------------------------------------- *)
+
+exception Refused = Uls_api.Sockets_api.Connection_refused
+
+let connect t (server : Uls_api.Sockets_api.addr) =
+  if server.port < 0 || server.port > Tags.max_id then
+    invalid_arg "substrate: port > 4095";
+  let id = alloc_id t in
+  t.next_eport <- t.next_eport + 1;
+  let local = { Uls_api.Sockets_api.node = node_id t; port = t.next_eport } in
+  let conn =
+    Conn.create (conn_env t) ~id ~peer_node:server.node ~peer_conn:(-1)
+      ~local_addr:local ~peer_addr:server
+  in
+  Hashtbl.replace t.conns id conn;
+  (* Pre-post the reply descriptor, then send the connection request. *)
+  let reply_region = Memory.alloc 16 in
+  Os.prepin (Node.os t.node) reply_region;
+  let reply =
+    E.post_recv t.emp ~src:server.node
+      ~tag:(Tags.make Tags.Conn_reply id)
+      reply_region ~off:0 ~len:16
+  in
+  ignore
+    (Sendpool.send t.ctrl_pool ~dst:server.node
+       ~tag:(Tags.make Tags.Conn_request server.port)
+       (Codec.encode [ node_id t; id; local.port ]));
+  match E.wait_recv_timeout t.emp reply t.opts.Options.connect_timeout with
+  | Some (len, _, _) when len >= Codec.int_bytes ->
+    (match Codec.decode_region reply_region ~off:0 ~count:1 with
+    | [ server_conn ] ->
+      Conn.set_peer conn ~conn:server_conn ~addr:server;
+      conn
+    | _ -> assert false)
+  | _ ->
+    ignore (E.unpost_recv t.emp reply);
+    Conn.close conn;
+    raise (Refused server)
+
+(* --- stack-agnostic API ------------------------------------------------ *)
+
+let stream_of_conn (c : Conn.t) : Uls_api.Sockets_api.stream =
+  {
+    send = (fun data -> Conn.write c data);
+    recv = (fun n -> Conn.read c n);
+    close = (fun () -> Conn.close c);
+    readable = (fun () -> Conn.readable c);
+    peer = (fun () -> Conn.peer_addr c);
+    local = (fun () -> Conn.local_addr c);
+  }
+
+let api (subs : t array) : Uls_api.Sockets_api.stack =
+  let name =
+    if Array.length subs = 0 then "emp-substrate"
+    else "emp-" ^ Options.mode_name subs.(0).opts
+  in
+  let listen ~node ~port ~backlog =
+    let s = subs.(node) in
+    let l = listen s ~port ~backlog in
+    {
+      Uls_api.Sockets_api.accept =
+        (fun () ->
+          let c, peer = accept s l in
+          (stream_of_conn c, peer));
+      acceptable = (fun () -> acceptable l);
+      close_listener = (fun () -> close_listener s l);
+    }
+  in
+  let connect ~node addr = stream_of_conn (connect subs.(node) addr) in
+  let select ~node streams =
+    let s = subs.(node) in
+    let ready () =
+      List.filter (fun (st : Uls_api.Sockets_api.stream) -> st.readable ()) streams
+    in
+    let rec wait () =
+      match ready () with
+      | _ :: _ as r -> r
+      | [] ->
+        Cond.wait s.activity;
+        wait ()
+    in
+    wait ()
+  in
+  { Uls_api.Sockets_api.stack_name = name; listen; connect; select }

@@ -1,0 +1,51 @@
+(** The EMP substrate (the paper's contribution): a per-node user-level
+    library mapping the sockets interface onto EMP (Figure 5).
+
+    Connection management uses the data-message-exchange scheme of §5.1:
+    [listen] pre-posts [backlog] connection-request descriptors on the
+    port's tag, [connect] sends an explicit request message carrying the
+    client's identity and waits for the reply; NIC-level tag matching
+    separates connection traffic from data. An active-socket table tracks
+    every open connection so close reclaims all NIC descriptors (§5.3).
+
+    Most users go through {!api}, which packages substrate instances as a
+    stack-agnostic {!Uls_api.Sockets_api.stack}. *)
+
+type t
+type listener
+type request
+
+val create : ?opts:Options.t -> Uls_host.Node.t -> Uls_emp.Endpoint.t -> t
+(** One substrate instance per node. With the unexpected-queue option on,
+    this provisions EMP UQ slots for credit-ack traffic (§6.4). *)
+
+val node_id : t -> int
+val options : t -> Options.t
+val emp : t -> Uls_emp.Endpoint.t
+val activity : t -> Uls_engine.Cond.t
+(** Broadcast whenever any socket of this node becomes ready; the
+    [select] implementation blocks on it. *)
+
+val active_connections : t -> int
+(** Size of the active-socket table (§5.3). *)
+
+val listen : t -> port:int -> backlog:int -> listener
+(** Pre-posts [backlog] connection-request descriptors. Ports are 12-bit
+    (tag-encoded). @raise Uls_api.Sockets_api.Bind_in_use *)
+
+val accept : t -> listener -> Conn.t * Uls_api.Sockets_api.addr
+(** Block for the next queued request, build the connection (posting its
+    2N+3 descriptors), reply to the client. *)
+
+val acceptable : listener -> bool
+val close_listener : t -> listener -> unit
+
+val connect : t -> Uls_api.Sockets_api.addr -> Conn.t
+(** Send the connection request and wait for the server's reply.
+    @raise Uls_api.Sockets_api.Connection_refused on timeout. *)
+
+val stream_of_conn : Conn.t -> Uls_api.Sockets_api.stream
+
+val api : t array -> Uls_api.Sockets_api.stack
+(** Package one substrate per node as a sockets stack (the array index is
+    the node id). *)

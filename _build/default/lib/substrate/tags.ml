@@ -1,0 +1,31 @@
+(** 16-bit EMP tag layout used by the substrate: a 4-bit message kind and
+    a 12-bit connection id (or listening port for connection requests).
+    NIC-level tag matching thus separates connection management from
+    data, and connection from connection — §5.1's "data message
+    exchange" scheme. *)
+
+type kind =
+  | Conn_request  (** low bits: listening port *)
+  | Conn_reply  (** low bits: client connection id *)
+  | Data
+  | Credit_ack
+  | Rdvz_request
+  | Rdvz_grant
+  | Rdvz_data
+  | Close
+
+let kind_code = function
+  | Conn_request -> 0
+  | Conn_reply -> 1
+  | Data -> 2
+  | Credit_ack -> 3
+  | Rdvz_request -> 4
+  | Rdvz_grant -> 5
+  | Rdvz_data -> 6
+  | Close -> 7
+
+let max_id = 0xFFF
+
+let make kind id =
+  if id < 0 || id > max_id then invalid_arg "Tags.make: id out of range";
+  (kind_code kind lsl 12) lor id

@@ -1,0 +1,1 @@
+lib/tcpip/config.ml: Uls_engine

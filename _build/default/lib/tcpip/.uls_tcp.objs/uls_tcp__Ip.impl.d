@@ -1,0 +1,1 @@
+lib/tcpip/ip.ml: Cond Config Cost_model Hashtbl List Node Queue Resource Segment Sim Tigon Time Uls_engine Uls_ether Uls_host Uls_nic

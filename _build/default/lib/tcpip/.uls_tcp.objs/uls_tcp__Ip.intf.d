@@ -1,0 +1,1 @@
+lib/tcpip/ip.mli: Config Segment Uls_engine Uls_host Uls_nic

@@ -1,0 +1,1 @@
+lib/tcpip/kernel.ml: Cond Config Cost_model Hashtbl Ip Node Os Printf Queue Resource Segment Sim String Tcp_conn Uls_api Uls_engine Uls_host

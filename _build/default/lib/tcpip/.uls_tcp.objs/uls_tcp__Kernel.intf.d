@@ -1,0 +1,1 @@
+lib/tcpip/kernel.mli: Config Ip Tcp_conn Uls_api Uls_engine Uls_host Uls_nic

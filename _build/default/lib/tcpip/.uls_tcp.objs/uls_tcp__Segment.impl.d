@@ -1,0 +1,1 @@
+lib/tcpip/segment.ml: Format String Uls_ether

@@ -1,0 +1,1 @@
+lib/tcpip/tcp_conn.ml: Bytebuf Cond Config Cost_model List Node Os Resource Segment Sim String Time Uls_api Uls_engine Uls_host

@@ -1,0 +1,1 @@
+lib/tcpip/tcp_stack.ml: Array Cond Config Kernel List Tcp_conn Uls_api Uls_engine

@@ -1,0 +1,1 @@
+lib/tcpip/tcp_stack.mli: Config Kernel Tcp_conn Uls_api Uls_host Uls_nic

@@ -1,0 +1,47 @@
+type t = {
+  data : Bytes.t;
+  mutable head : int; (* index of first stored byte *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Bytebuf.create";
+  { data = Bytes.make capacity '\000'; head = 0; len = 0 }
+
+let capacity t = Bytes.length t.data
+let available t = t.len
+let free_space t = capacity t - t.len
+
+let write t s ~off ~len =
+  let n = min len (free_space t) in
+  let cap = capacity t in
+  let tail = (t.head + t.len) mod cap in
+  let first = min n (cap - tail) in
+  Bytes.blit_string s off t.data tail first;
+  if n > first then Bytes.blit_string s (off + first) t.data 0 (n - first);
+  t.len <- t.len + n;
+  n
+
+let peek t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.len then invalid_arg "Bytebuf.peek";
+  let cap = capacity t in
+  let start = (t.head + off) mod cap in
+  let first = min len (cap - start) in
+  if first = len then Bytes.sub_string t.data start len
+  else begin
+    let out = Bytes.create len in
+    Bytes.blit t.data start out 0 first;
+    Bytes.blit t.data 0 out first (len - first);
+    Bytes.to_string out
+  end
+
+let drop t n =
+  if n < 0 || n > t.len then invalid_arg "Bytebuf.drop";
+  t.head <- (t.head + n) mod capacity t;
+  t.len <- t.len - n
+
+let read t n =
+  let n = min n t.len in
+  let s = peek t ~off:0 ~len:n in
+  drop t n;
+  s

@@ -1,0 +1,26 @@
+(** Bounded byte ring used for TCP socket buffers. The send buffer keeps
+    unacknowledged bytes at the front, so reads can {!peek} at an offset
+    (retransmission) and {!drop} from the front (acknowledgment). *)
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+val available : t -> int
+(** Bytes currently stored. *)
+
+val free_space : t -> int
+
+val write : t -> string -> off:int -> len:int -> int
+(** Append up to [len] bytes; returns how many were accepted. *)
+
+val peek : t -> off:int -> len:int -> string
+(** Copy out [len] bytes starting [off] bytes from the front, without
+    consuming. @raise Invalid_argument if the range exceeds {!available}. *)
+
+val read : t -> int -> string
+(** Consume and return up to [n] bytes from the front. *)
+
+val drop : t -> int -> unit
+(** Discard [n] bytes from the front. @raise Invalid_argument if [n]
+    exceeds {!available}. *)

@@ -1,0 +1,73 @@
+(** Wire types of the kernel stack: IP fragments carrying typed TCP/UDP
+    payloads. Sizes are modelled byte-accurately ([bytes] functions);
+    contents stay typed so no serialisation code is needed. *)
+
+type flags = {
+  syn : bool;
+  ack : bool;
+  fin : bool;
+  rst : bool;
+}
+
+let flag ?(syn = false) ?(ack = false) ?(fin = false) ?(rst = false) () =
+  { syn; ack; fin; rst }
+
+type tcp_segment = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack_no : int;
+  flags : flags;
+  wnd : int;  (** advertised receive window, bytes *)
+  data : string;
+}
+
+type udp_datagram = {
+  u_src_port : int;
+  u_dst_port : int;
+  u_data : string;
+}
+
+type ip_payload =
+  | Tcp of tcp_segment
+  | Udp of udp_datagram
+
+let tcp_header_bytes = 20
+let udp_header_bytes = 8
+let ip_header_bytes = 20
+
+let payload_bytes = function
+  | Tcp s -> tcp_header_bytes + String.length s.data
+  | Udp d -> udp_header_bytes + String.length d.u_data
+
+(* IP fragments: the first fragment carries the typed payload; later
+   fragments only account for bytes. Reassembly completes when all bytes
+   of an (src, id) datagram have arrived — so the loss of any fragment
+   drops the datagram, as real IP reassembly does. *)
+type Uls_ether.Frame.payload +=
+  | Ip_first of {
+      ip_id : int;
+      total_bytes : int;  (** L3 payload bytes of the whole datagram *)
+      carried : int;  (** payload bytes in this fragment *)
+      payload : ip_payload;
+    }
+  | Ip_cont of {
+      ip_id : int;
+      carried : int;
+    }
+
+let max_fragment_payload = Uls_ether.Frame.mtu - ip_header_bytes
+
+(** TCP MSS: a full segment exactly fills one Ethernet frame. *)
+let mss = Uls_ether.Frame.mtu - ip_header_bytes - tcp_header_bytes
+
+let pp_flags fmt f =
+  Format.fprintf fmt "%s%s%s%s"
+    (if f.syn then "S" else "")
+    (if f.ack then "A" else "")
+    (if f.fin then "F" else "")
+    (if f.rst then "R" else "")
+
+let pp_tcp fmt s =
+  Format.fprintf fmt "tcp %d->%d seq=%d ack=%d %a wnd=%d len=%d" s.src_port
+    s.dst_port s.seq s.ack_no pp_flags s.flags s.wnd (String.length s.data)

@@ -1,0 +1,59 @@
+(** Assemble the kernel TCP implementation of the stack-agnostic sockets
+    API ({!Uls_api.Sockets_api.stack}) over one kernel per node. *)
+
+open Uls_engine
+
+type t = {
+  kernels : Kernel.t array;
+}
+
+let create ?(config = Config.default) ~nodes ~nics () =
+  if Array.length nodes <> Array.length nics then
+    invalid_arg "Tcp_stack.create: nodes/nics mismatch";
+  let kernels =
+    Array.map2 (fun node nic -> Kernel.create node nic ~config) nodes nics
+  in
+  { kernels }
+
+let kernel t i = t.kernels.(i)
+
+let stream_of_conn (c : Tcp_conn.t) : Uls_api.Sockets_api.stream =
+  {
+    send = (fun data -> Tcp_conn.app_send c data);
+    recv = (fun n -> Tcp_conn.app_recv c n);
+    close = (fun () -> Tcp_conn.app_close c);
+    readable = (fun () -> Tcp_conn.app_readable c);
+    peer = (fun () -> Tcp_conn.remote c);
+    local = (fun () -> Tcp_conn.local c);
+  }
+
+let api t : Uls_api.Sockets_api.stack =
+  let kernel i = t.kernels.(i) in
+  let listen ~node ~port ~backlog =
+    let k = kernel node in
+    let l = Kernel.listen k ~port ~backlog in
+    {
+      Uls_api.Sockets_api.accept =
+        (fun () ->
+          let c = Kernel.accept k l in
+          (stream_of_conn c, Tcp_conn.remote c));
+      acceptable = (fun () -> Kernel.acceptable l);
+      close_listener = (fun () -> Kernel.close_listener k l);
+    }
+  in
+  let connect ~node addr = stream_of_conn (Kernel.connect (kernel node) addr) in
+  let select ~node streams =
+    let k = kernel node in
+    let ready () =
+      List.filter (fun (s : Uls_api.Sockets_api.stream) -> s.readable ()) streams
+    in
+    let rec wait () =
+      match ready () with
+      | _ :: _ as r -> r
+      | [] ->
+        Cond.wait (Kernel.activity k);
+        wait ()
+    in
+    wait ()
+  in
+  { Uls_api.Sockets_api.stack_name = "kernel-tcp"; listen; connect; select }

@@ -1,0 +1,1 @@
+test/test_api.ml: Alcotest Buffer Format String Uls_api

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array List Printf QCheck QCheck_alcotest Rng Sim Time Uls_api Uls_apps Uls_bench Uls_engine Uls_host Uls_substrate

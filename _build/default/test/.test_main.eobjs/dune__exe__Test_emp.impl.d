@@ -1,0 +1,1 @@
+test/test_emp.ml: Alcotest Char List Memory Node Os Printf QCheck QCheck_alcotest Sim String Time Uls_bench Uls_emp Uls_engine Uls_ether Uls_host

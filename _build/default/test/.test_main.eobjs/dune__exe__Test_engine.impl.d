@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Cond Gen Heap List Mailbox QCheck QCheck_alcotest Resource Rng Sim Stats Time Uls_engine Vec

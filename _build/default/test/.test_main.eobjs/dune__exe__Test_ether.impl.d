@@ -1,0 +1,1 @@
+test/test_ether.ml: Alcotest Array Frame Gen Link List Network QCheck QCheck_alcotest Sim Switch Uls_engine Uls_ether

@@ -1,0 +1,1 @@
+test/test_fdio.ml: Alcotest Buffer Sim Uls_api Uls_apps Uls_engine Uls_host

@@ -1,0 +1,1 @@
+test/test_host.ml: Alcotest Cost_model List Memory Node Os QCheck QCheck_alcotest Sim String Uls_engine Uls_host

@@ -1,0 +1,1 @@
+test/test_lifecycle.ml: Alcotest Sim String Time Uls_api Uls_bench Uls_emp Uls_engine Uls_ether Uls_tcp

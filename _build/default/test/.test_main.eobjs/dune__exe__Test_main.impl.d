@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Printexc Printf Test_api Test_apps Test_emp Test_engine Test_ether Test_fdio Test_host Test_lifecycle Test_nic Test_shape Test_substrate Test_tcp Test_units Uls_engine

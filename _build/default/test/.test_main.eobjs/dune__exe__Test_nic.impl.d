@@ -1,0 +1,1 @@
+test/test_nic.ml: Alcotest Array List Match_list QCheck QCheck_alcotest Sim Tigon Uls_engine Uls_ether Uls_host Uls_nic

@@ -1,0 +1,1 @@
+test/test_shape.ml: Alcotest Uls_bench Uls_substrate Uls_tcp

@@ -1,0 +1,1 @@
+test/test_substrate.ml: Alcotest Array Buffer Char Gen List Printf QCheck QCheck_alcotest Rng Sim String Time Uls_api Uls_bench Uls_emp Uls_engine Uls_ether Uls_substrate

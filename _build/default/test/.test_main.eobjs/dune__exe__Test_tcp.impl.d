@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Buffer Char List QCheck QCheck_alcotest Rng Sim String Time Uls_api Uls_bench Uls_engine Uls_ether Uls_tcp

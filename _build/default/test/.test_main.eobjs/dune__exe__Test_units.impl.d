@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Format Gen List Printf QCheck QCheck_alcotest Sim String Trace Uls_bench Uls_emp Uls_engine Uls_host Uls_substrate Uls_tcp

@@ -1,0 +1,388 @@
+(* Unit + property tests for the discrete-event core. *)
+open Uls_engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Vec --- *)
+
+let test_vec_push_pop () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get" 42 (Vec.get v 42);
+  check_int "pop" 99 (Vec.pop v);
+  check_int "length after pop" 99 (Vec.length v)
+
+let test_vec_bounds () =
+  let v = Vec.create () in
+  Vec.push v 1;
+  Alcotest.check_raises "oob get" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 1));
+  ignore (Vec.pop v);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop: empty") (fun () ->
+      ignore (Vec.pop v))
+
+let test_vec_sort () =
+  let v = Vec.create () in
+  List.iter (Vec.push v) [ 3; 1; 2 ];
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ]
+    (Array.to_list (Vec.to_array v))
+
+(* --- Heap --- *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 2; 3; 4; 5; 9 ] (drain [])
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* --- Sim basics --- *)
+
+let test_sim_delay_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 100;
+      log := ("a", Sim.now sim) :: !log);
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 50;
+      log := ("b", Sim.now sim) :: !log;
+      Sim.delay sim 100;
+      log := ("c", Sim.now sim) :: !log);
+  ignore (Sim.run sim);
+  Alcotest.(check (list (pair string int)))
+    "event order"
+    [ ("b", 50); ("a", 100); ("c", 150) ]
+    (List.rev !log)
+
+let test_sim_same_time_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.at sim 10 (fun () -> log := i :: !log)
+  done;
+  ignore (Sim.run sim);
+  Alcotest.(check (list int)) "fifo at same timestamp" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  Sim.at sim 1_000 (fun () -> fired := true);
+  let r = Sim.run ~until:500 sim in
+  check_bool "not yet" false !fired;
+  check_int "clock at limit" 500 (Sim.now sim);
+  (match r with
+  | `Time_limit -> ()
+  | _ -> Alcotest.fail "expected `Time_limit");
+  ignore (Sim.run sim);
+  check_bool "fires on resume" true !fired
+
+let test_sim_stop () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 100 do
+        incr count;
+        if !count = 10 then Sim.stop sim;
+        Sim.delay sim 1
+      done);
+  (match Sim.run sim with
+  | `Stopped -> ()
+  | _ -> Alcotest.fail "expected `Stopped");
+  check_int "stopped early" 10 !count
+
+let test_sim_fiber_failure () =
+  let sim = Sim.create () in
+  Sim.spawn sim ~name:"boom" (fun () -> failwith "bang");
+  (try
+     ignore (Sim.run sim);
+     Alcotest.fail "expected Fiber_failure"
+   with Sim.Fiber_failure (name, Failure msg) ->
+     Alcotest.(check string) "fiber name" "boom" name;
+     Alcotest.(check string) "payload" "bang" msg)
+
+let test_sim_past_scheduling_rejected () =
+  let sim = Sim.create () in
+  Sim.spawn sim (fun () -> Sim.delay sim 100);
+  ignore (Sim.run sim);
+  Alcotest.check_raises "past" (Invalid_argument "Sim: scheduling in the past")
+    (fun () -> Sim.at sim 50 (fun () -> ()))
+
+(* --- Cond --- *)
+
+let test_cond_signal_fifo () =
+  let sim = Sim.create () in
+  let c = Cond.create sim in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        Cond.wait c;
+        log := i :: !log)
+  done;
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 10;
+      Cond.signal c;
+      Sim.delay sim 10;
+      Cond.broadcast c);
+  ignore (Sim.run sim);
+  Alcotest.(check (list int)) "fifo wakeups" [ 1; 2; 3 ] (List.rev !log)
+
+let test_cond_timeout () =
+  let sim = Sim.create () in
+  let c = Cond.create sim in
+  let outcome = ref `Ok in
+  Sim.spawn sim (fun () -> outcome := Cond.wait_timeout c 100);
+  ignore (Sim.run sim);
+  check_bool "timed out" true (!outcome = `Timeout);
+  check_int "time advanced" 100 (Sim.now sim)
+
+let test_cond_signal_beats_timeout () =
+  let sim = Sim.create () in
+  let c = Cond.create sim in
+  let outcome = ref `Timeout in
+  Sim.spawn sim (fun () -> outcome := Cond.wait_timeout c 100);
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 50;
+      Cond.signal c);
+  ignore (Sim.run sim);
+  check_bool "signalled" true (!outcome = `Ok)
+
+let test_cond_timeout_not_double_woken () =
+  (* A waiter cancelled by timeout must not steal a later signal. *)
+  let sim = Sim.create () in
+  let c = Cond.create sim in
+  let second_woke = ref false in
+  Sim.spawn sim (fun () -> ignore (Cond.wait_timeout c 10));
+  Sim.spawn sim (fun () ->
+      Cond.wait c;
+      second_woke := true);
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 50;
+      Cond.signal c);
+  ignore (Sim.run sim);
+  check_bool "live waiter got the signal" true !second_woke
+
+(* --- Mailbox --- *)
+
+let test_mailbox_fifo () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create sim in
+  let got = ref [] in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 3 do
+        got := Mailbox.recv mb :: !got
+      done);
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 5;
+      Mailbox.send mb 1;
+      Mailbox.send mb 2;
+      Sim.delay sim 5;
+      Mailbox.send mb 3);
+  ignore (Sim.run sim);
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_timeout () =
+  let sim = Sim.create () in
+  let mb : int Mailbox.t = Mailbox.create sim in
+  let got = ref (Some 0) in
+  Sim.spawn sim (fun () -> got := Mailbox.recv_timeout mb 100);
+  ignore (Sim.run sim);
+  check_bool "timeout is None" true (!got = None)
+
+let test_mailbox_timeout_delivery () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create sim in
+  let got = ref None in
+  Sim.spawn sim (fun () -> got := Mailbox.recv_timeout mb 100);
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 30;
+      Mailbox.send mb 9);
+  ignore (Sim.run sim);
+  check_bool "delivered before deadline" true (!got = Some 9)
+
+(* --- Resource --- *)
+
+let test_resource_fifo_serialization () =
+  let sim = Sim.create () in
+  let r = Resource.create sim ~name:"cpu" in
+  let finish = Array.make 3 0 in
+  for i = 0 to 2 do
+    Sim.spawn sim (fun () ->
+        Resource.use r 100;
+        finish.(i) <- Sim.now sim)
+  done;
+  ignore (Sim.run sim);
+  Alcotest.(check (array int)) "back to back" [| 100; 200; 300 |] finish;
+  check_int "busy" 300 (Resource.busy_time r);
+  check_int "jobs" 3 (Resource.jobs r);
+  check_int "queue delay" 300 (Resource.queue_delay_total r)
+
+let test_resource_idle_gap () =
+  let sim = Sim.create () in
+  let r = Resource.create sim ~name:"cpu" in
+  Sim.spawn sim (fun () ->
+      Resource.use r 10;
+      Sim.delay sim 100;
+      Resource.use r 10);
+  ignore (Sim.run sim);
+  check_int "no queueing across idle gap" 0 (Resource.queue_delay_total r);
+  check_int "finish time" 120 (Sim.now sim)
+
+let prop_resource_fifo =
+  QCheck.Test.make ~name:"resource completions are FIFO and disjoint" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 20) (int_range 1 1000))
+    (fun durations ->
+      let sim = Sim.create () in
+      let r = Resource.create sim ~name:"x" in
+      let finishes = ref [] in
+      List.iter
+        (fun d ->
+          Sim.spawn sim (fun () ->
+              Resource.use r d;
+              finishes := Sim.now sim :: !finishes))
+        durations;
+      ignore (Sim.run sim);
+      let f = List.rev !finishes in
+      let total = List.fold_left ( + ) 0 durations in
+      f = List.sort compare f && List.nth f (List.length f - 1) = total)
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.int64 a = Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  check_bool "different" true (Rng.int64 a <> Rng.int64 b)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"rng int within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.create ~seed in
+      let x = Rng.int r bound in
+      x >= 0 && x < bound)
+
+let prop_rng_float_unit =
+  QCheck.Test.make ~name:"rng float in [0,1)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let r = Rng.create ~seed in
+      let x = Rng.float r in
+      x >= 0. && x < 1.)
+
+(* --- Stats --- *)
+
+let test_summary_basics () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 4. (Stats.Summary.max s);
+  Alcotest.(check (float 1e-9)) "median" 3. (Stats.Summary.percentile s 0.5)
+
+let test_summary_stddev () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check (float 1e-6)) "sample stddev" 2.13809 (Stats.Summary.stddev s)
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"percentile lies within samples" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.add s) xs;
+      let p = Stats.Summary.percentile s 0.9 in
+      p >= Stats.Summary.min s && p <= Stats.Summary.max s)
+
+(* --- Time --- *)
+
+let test_time_units () =
+  check_int "us" 5_000 (Time.us 5);
+  check_int "ms" 7_000_000 (Time.ms 7);
+  check_int "us_f" 1_500 (Time.us_f 1.5);
+  Alcotest.(check (float 1e-9)) "to_us" 2.5 (Time.to_us 2_500)
+
+let test_time_mbps () =
+  (* 1250 bytes in 10 us = 1000 Mb/s *)
+  Alcotest.(check (float 1e-6)) "mbps" 1000.
+    (Time.mbps ~bytes_transferred:1250 ~elapsed:10_000)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "engine.vec",
+      [
+        Alcotest.test_case "push/pop" `Quick test_vec_push_pop;
+        Alcotest.test_case "bounds" `Quick test_vec_bounds;
+        Alcotest.test_case "sort" `Quick test_vec_sort;
+      ] );
+    ( "engine.heap",
+      Alcotest.test_case "ordering" `Quick test_heap_ordering
+      :: qsuite [ prop_heap_sorts ] );
+    ( "engine.sim",
+      [
+        Alcotest.test_case "delay ordering" `Quick test_sim_delay_ordering;
+        Alcotest.test_case "same-time FIFO" `Quick test_sim_same_time_fifo;
+        Alcotest.test_case "until" `Quick test_sim_until;
+        Alcotest.test_case "stop" `Quick test_sim_stop;
+        Alcotest.test_case "fiber failure" `Quick test_sim_fiber_failure;
+        Alcotest.test_case "no past scheduling" `Quick
+          test_sim_past_scheduling_rejected;
+      ] );
+    ( "engine.cond",
+      [
+        Alcotest.test_case "signal FIFO" `Quick test_cond_signal_fifo;
+        Alcotest.test_case "timeout" `Quick test_cond_timeout;
+        Alcotest.test_case "signal beats timeout" `Quick
+          test_cond_signal_beats_timeout;
+        Alcotest.test_case "timeout waiter not rewoken" `Quick
+          test_cond_timeout_not_double_woken;
+      ] );
+    ( "engine.mailbox",
+      [
+        Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+        Alcotest.test_case "recv timeout empty" `Quick test_mailbox_timeout;
+        Alcotest.test_case "recv timeout delivery" `Quick
+          test_mailbox_timeout_delivery;
+      ] );
+    ( "engine.resource",
+      Alcotest.test_case "fifo serialization" `Quick
+        test_resource_fifo_serialization
+      :: Alcotest.test_case "idle gap" `Quick test_resource_idle_gap
+      :: qsuite [ prop_resource_fifo ] );
+    ( "engine.rng",
+      Alcotest.test_case "deterministic" `Quick test_rng_deterministic
+      :: Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ
+      :: qsuite [ prop_rng_int_bounds; prop_rng_float_unit ] );
+    ( "engine.stats",
+      Alcotest.test_case "summary basics" `Quick test_summary_basics
+      :: Alcotest.test_case "stddev" `Quick test_summary_stddev
+      :: qsuite [ prop_percentile_bounded ] );
+    ( "engine.time",
+      [
+        Alcotest.test_case "units" `Quick test_time_units;
+        Alcotest.test_case "mbps" `Quick test_time_mbps;
+      ] );
+  ]

@@ -1,0 +1,202 @@
+(* Tests for the wire model: frames, links, switch, topology. *)
+open Uls_engine
+open Uls_ether
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Frame --- *)
+
+let test_frame_wire_bytes () =
+  (* Minimum-size frame: 64 bytes + 20 preamble/IFG. *)
+  let f = Frame.make ~src:0 ~dst:1 ~payload_len:4 Frame.Raw in
+  check_int "min frame" 84 (Frame.wire_bytes f);
+  (* Full MTU: 1500 + 18 + 20. *)
+  let f = Frame.make ~src:0 ~dst:1 ~payload_len:1500 Frame.Raw in
+  check_int "max frame" 1538 (Frame.wire_bytes f)
+
+let test_frame_padding_boundary () =
+  let f = Frame.make ~src:0 ~dst:1 ~payload_len:46 Frame.Raw in
+  check_int "exactly min, no padding" 84 (Frame.wire_bytes f);
+  let f = Frame.make ~src:0 ~dst:1 ~payload_len:47 Frame.Raw in
+  check_int "one past min" 85 (Frame.wire_bytes f)
+
+let test_frame_mtu_enforced () =
+  Alcotest.check_raises "mtu" (Invalid_argument "Frame.make: payload_len 1501")
+    (fun () -> ignore (Frame.make ~src:0 ~dst:1 ~payload_len:1501 Frame.Raw))
+
+let prop_frame_wire_bytes_monotone =
+  QCheck.Test.make ~name:"wire bytes monotone in payload" ~count:200
+    QCheck.(pair (int_range 0 1499) (int_range 1 1))
+    (fun (len, step) ->
+      let f1 = Frame.make ~src:0 ~dst:1 ~payload_len:len Frame.Raw in
+      let f2 = Frame.make ~src:0 ~dst:1 ~payload_len:(len + step) Frame.Raw in
+      Frame.wire_bytes f2 >= Frame.wire_bytes f1)
+
+(* --- Link --- *)
+
+let test_link_transmit_time () =
+  let sim = Sim.create () in
+  let l = Link.create sim ~name:"l" () in
+  let f = Frame.make ~src:0 ~dst:1 ~payload_len:1500 Frame.Raw in
+  (* 1538 bytes at 1 bit/ns = 12304 ns *)
+  check_int "gigabit frame time" 12_304 (Link.transmit_time l f)
+
+let test_link_delivery_and_serialization () =
+  let sim = Sim.create () in
+  let l = Link.create sim ~propagation:500 ~name:"l" () in
+  let arrivals = ref [] in
+  Link.set_receiver l (fun f -> arrivals := (f.Frame.payload_len, Sim.now sim) :: !arrivals);
+  let f = Frame.make ~src:0 ~dst:1 ~payload_len:1500 Frame.Raw in
+  Link.send l f;
+  Link.send l f;
+  ignore (Sim.run sim);
+  (* First frame: 12304 + 500; second queues behind: 24608 + 500. *)
+  Alcotest.(check (list (pair int int)))
+    "store-and-forward arrivals"
+    [ (1500, 12_804); (1500, 25_108) ]
+    (List.sort compare !arrivals)
+
+let test_link_half_rate () =
+  let sim = Sim.create () in
+  let l = Link.create sim ~bits_per_ns:0.5 ~propagation:0 ~name:"l" () in
+  let f = Frame.make ~src:0 ~dst:1 ~payload_len:46 Frame.Raw in
+  check_int "100 Mb/s-ish scaling" 1_344 (Link.transmit_time l f)
+
+let test_link_counters () =
+  let sim = Sim.create () in
+  let l = Link.create sim ~name:"l" () in
+  Link.set_receiver l (fun _ -> ());
+  let f = Frame.make ~src:0 ~dst:1 ~payload_len:100 Frame.Raw in
+  Link.send l f;
+  ignore (Sim.run sim);
+  check_int "frames" 1 (Link.frames_sent l);
+  check_int "bytes" (Frame.wire_bytes f) (Link.bytes_sent l)
+
+(* --- Switch / Network --- *)
+
+let mk_net ?(stations = 4) () =
+  let sim = Sim.create () in
+  let net = Network.create sim ~stations () in
+  (sim, net)
+
+let test_network_routing () =
+  let sim, net = mk_net () in
+  let got = Array.make 4 0 in
+  for i = 0 to 3 do
+    Network.attach net ~station:i (fun _ -> got.(i) <- got.(i) + 1)
+  done;
+  Network.send net (Frame.make ~src:0 ~dst:2 ~payload_len:64 Frame.Raw);
+  Network.send net (Frame.make ~src:1 ~dst:3 ~payload_len:64 Frame.Raw);
+  Network.send net (Frame.make ~src:3 ~dst:0 ~payload_len:64 Frame.Raw);
+  ignore (Sim.run sim);
+  Alcotest.(check (array int)) "each delivered" [| 1; 0; 1; 1 |] got;
+  check_int "forwarded" 3 (Switch.frames_forwarded (Network.switch net))
+
+let test_network_latency_breakdown () =
+  (* End-to-end one-way frame time: uplink tx + prop + switch fwd +
+     egress tx + prop. For 84 wire bytes: 672 + 500 + 2500 + 672 + 500. *)
+  let sim, net = mk_net () in
+  let arrival = ref 0 in
+  Network.attach net ~station:1 (fun _ -> arrival := Sim.now sim);
+  Network.send net (Frame.make ~src:0 ~dst:1 ~payload_len:4 Frame.Raw);
+  ignore (Sim.run sim);
+  check_int "one-way wire latency" 4_844 !arrival
+
+let test_switch_unknown_station_dropped () =
+  let sim, net = mk_net () in
+  Network.send net (Frame.make ~src:0 ~dst:9 ~payload_len:64 Frame.Raw);
+  ignore (Sim.run sim);
+  check_int "dropped" 1 (Switch.frames_dropped (Network.switch net))
+
+let test_switch_fault_filter () =
+  let sim, net = mk_net () in
+  let got = ref 0 in
+  Network.attach net ~station:1 (fun _ -> incr got);
+  let count = ref 0 in
+  Network.set_fault_filter net (fun _ ->
+      incr count;
+      !count mod 2 = 0);
+  for _ = 1 to 6 do
+    Network.send net (Frame.make ~src:0 ~dst:1 ~payload_len:64 Frame.Raw)
+  done;
+  ignore (Sim.run sim);
+  check_int "half dropped" 3 !got;
+  check_int "drop count" 3 (Switch.frames_dropped (Network.switch net))
+
+let test_switch_queue_overflow () =
+  let sim = Sim.create () in
+  let net = Network.create sim ~queue_limit:4_000 ~stations:3 () in
+  let got = ref 0 in
+  Network.attach net ~station:2 (fun _ -> incr got);
+  (* Two stations blast the same egress port; its 4 KB queue overflows. *)
+  for _ = 1 to 10 do
+    Network.send net (Frame.make ~src:0 ~dst:2 ~payload_len:1500 Frame.Raw);
+    Network.send net (Frame.make ~src:1 ~dst:2 ~payload_len:1500 Frame.Raw)
+  done;
+  ignore (Sim.run sim);
+  check_bool "some dropped" true (Switch.frames_dropped (Network.switch net) > 0);
+  check_bool "some delivered" true (!got > 0);
+  check_int "conservation" 20
+    (!got + Switch.frames_dropped (Network.switch net))
+
+let test_switch_fifo_per_port () =
+  let sim, net = mk_net () in
+  let seen = ref [] in
+  Network.attach net ~station:1 (fun f -> seen := f.Frame.payload_len :: !seen);
+  for len = 100 to 109 do
+    Network.send net (Frame.make ~src:0 ~dst:1 ~payload_len:len Frame.Raw)
+  done;
+  ignore (Sim.run sim);
+  Alcotest.(check (list int)) "in order"
+    [ 100; 101; 102; 103; 104; 105; 106; 107; 108; 109 ]
+    (List.rev !seen)
+
+let prop_network_conservation =
+  QCheck.Test.make ~name:"frames delivered + dropped = sent" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 40) (pair (int_range 0 3) (int_range 0 3)))
+    (fun pairs ->
+      let sim, net = mk_net () in
+      let delivered = ref 0 in
+      for i = 0 to 3 do
+        Network.attach net ~station:i (fun _ -> incr delivered)
+      done;
+      let sent = ref 0 in
+      List.iter
+        (fun (src, dst) ->
+          if src <> dst then begin
+            incr sent;
+            Network.send net (Frame.make ~src ~dst ~payload_len:200 Frame.Raw)
+          end)
+        pairs;
+      ignore (Sim.run sim);
+      !delivered + Switch.frames_dropped (Network.switch net) = !sent)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "ether.frame",
+      Alcotest.test_case "wire bytes" `Quick test_frame_wire_bytes
+      :: Alcotest.test_case "padding boundary" `Quick test_frame_padding_boundary
+      :: Alcotest.test_case "mtu enforced" `Quick test_frame_mtu_enforced
+      :: qsuite [ prop_frame_wire_bytes_monotone ] );
+    ( "ether.link",
+      [
+        Alcotest.test_case "transmit time" `Quick test_link_transmit_time;
+        Alcotest.test_case "delivery+serialization" `Quick
+          test_link_delivery_and_serialization;
+        Alcotest.test_case "half rate" `Quick test_link_half_rate;
+        Alcotest.test_case "counters" `Quick test_link_counters;
+      ] );
+    ( "ether.switch",
+      Alcotest.test_case "routing" `Quick test_network_routing
+      :: Alcotest.test_case "latency breakdown" `Quick
+           test_network_latency_breakdown
+      :: Alcotest.test_case "unknown station" `Quick
+           test_switch_unknown_station_dropped
+      :: Alcotest.test_case "fault filter" `Quick test_switch_fault_filter
+      :: Alcotest.test_case "queue overflow" `Quick test_switch_queue_overflow
+      :: Alcotest.test_case "per-port FIFO" `Quick test_switch_fifo_per_port
+      :: qsuite [ prop_network_conservation ] );
+  ]

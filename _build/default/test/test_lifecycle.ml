@@ -1,0 +1,125 @@
+(* Lifecycle and bookkeeping paths: listener close on both stacks, RST
+   accounting, IP reassembly eviction, engine counters. *)
+open Uls_engine
+open Uls_api.Sockets_api
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_engine_counters () =
+  let sim = Sim.create () in
+  check_int "no fibers yet" 0 (Sim.live_fibers sim);
+  Sim.spawn_at sim ~name:"late" 500 (fun () -> Sim.delay sim 10);
+  Sim.spawn sim (fun () -> ());
+  check_int "two spawned" 2 (Sim.live_fibers sim);
+  ignore (Sim.run sim);
+  check_int "all finished" 0 (Sim.live_fibers sim);
+  check_int "clock at last event" 510 (Sim.now sim);
+  check_bool "events counted" true (Sim.events_executed sim >= 3)
+
+let test_tcp_listener_close_refuses () =
+  let c = Uls_bench.Cluster.create ~n:2 () in
+  let api = Uls_bench.Cluster.tcp_api c in
+  let sim = Uls_bench.Cluster.sim c in
+  let refused = ref false in
+  Sim.spawn sim (fun () ->
+      let l = api.listen ~node:1 ~port:80 ~backlog:2 in
+      Sim.delay sim (Time.us 100);
+      l.close_listener ();
+      (* Port is free again: rebinding must succeed. *)
+      let l2 = api.listen ~node:1 ~port:80 ~backlog:2 in
+      Sim.delay sim (Time.ms 50);
+      l2.close_listener ());
+  Sim.spawn sim (fun () ->
+      Sim.delay sim (Time.ms 30);
+      (* The second listener exists but nobody accepts; connection still
+         completes the handshake and queues. Now target a dead port. *)
+      try ignore (api.connect ~node:0 { node = 1; port = 99 })
+      with Connection_refused _ -> refused := true);
+  ignore (Uls_bench.Cluster.run c);
+  check_bool "dead port refused" true !refused;
+  check_bool "RSTs were sent" true
+    (Uls_tcp.Kernel.rsts_sent (Uls_tcp.Tcp_stack.kernel (Uls_bench.Cluster.tcp c) 1)
+    > 0)
+
+let test_substrate_listener_close_reclaims () =
+  let c = Uls_bench.Cluster.create ~n:2 () in
+  let api = Uls_bench.Cluster.substrate_api c in
+  let sim = Uls_bench.Cluster.sim c in
+  let emp1 = Uls_bench.Cluster.emp c 1 in
+  let before = ref 0 and after = ref 0 in
+  Sim.spawn sim (fun () ->
+      before := Uls_emp.Endpoint.posted_descriptors emp1;
+      let l = api.listen ~node:1 ~port:80 ~backlog:5 in
+      check_int "backlog descriptors posted" (!before + 5)
+        (Uls_emp.Endpoint.posted_descriptors emp1);
+      l.close_listener ();
+      after := Uls_emp.Endpoint.posted_descriptors emp1);
+  ignore (Uls_bench.Cluster.run c);
+  check_int "backlog descriptors reclaimed" !before !after
+
+let test_ip_reassembly_eviction () =
+  (* Lose the head fragment of many datagrams: the partial entries must
+     be evicted (counted as drops) instead of accumulating forever. *)
+  let c = Uls_bench.Cluster.create ~n:2 () in
+  let stack = Uls_bench.Cluster.tcp c in
+  let sim = Uls_bench.Cluster.sim c in
+  let k0 = Uls_tcp.Tcp_stack.kernel stack 0
+  and k1 = Uls_tcp.Tcp_stack.kernel stack 1 in
+  (* Drop every first fragment (Ip_first) of large datagrams. *)
+  Uls_ether.Network.set_fault_filter (Uls_bench.Cluster.network c)
+    (fun frame ->
+      match frame.Uls_ether.Frame.payload with
+      | Uls_tcp.Segment.Ip_first { total_bytes; _ } -> total_bytes > 2_000
+      | _ -> false);
+  Sim.spawn sim (fun () ->
+      let sock = Uls_tcp.Kernel.udp_bind k0 ~port:1000 in
+      for _ = 1 to 80 do
+        Uls_tcp.Kernel.udp_sendto k0 sock ~dst:{ node = 1; port = 53 }
+          (String.make 4_000 'e');
+        Sim.delay sim (Time.ms 3)
+      done;
+      Uls_tcp.Kernel.udp_close k0 sock);
+  Sim.spawn sim (fun () ->
+      let sock = Uls_tcp.Kernel.udp_bind k1 ~port:53 in
+      Sim.delay sim (Time.ms 400);
+      Uls_tcp.Kernel.udp_close k1 sock);
+  ignore (Uls_bench.Cluster.run c);
+  let ip1 = Uls_tcp.Kernel.ip k1 in
+  check_int "nothing delivered" 0 (Uls_tcp.Ip.datagrams_delivered ip1);
+  check_bool "stale partials evicted" true (Uls_tcp.Ip.datagrams_dropped ip1 > 0)
+
+let test_switch_counters_after_traffic () =
+  let c = Uls_bench.Cluster.create ~n:2 () in
+  let api = Uls_bench.Cluster.substrate_api c in
+  let sim = Uls_bench.Cluster.sim c in
+  Sim.spawn sim (fun () ->
+      let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+      let s, _ = l.accept () in
+      ignore (recv_exact s 10_000);
+      s.close ());
+  Sim.spawn sim (fun () ->
+      Sim.delay sim (Time.us 10);
+      let s = api.connect ~node:0 { node = 1; port = 80 } in
+      s.send (String.make 10_000 'w');
+      s.close ());
+  ignore (Uls_bench.Cluster.run c);
+  let sw = Uls_ether.Network.switch (Uls_bench.Cluster.network c) in
+  check_bool "frames forwarded" true (Uls_ether.Switch.frames_forwarded sw > 10);
+  check_int "no drops on a clean run" 0 (Uls_ether.Switch.frames_dropped sw)
+
+let suites =
+  [
+    ( "lifecycle",
+      [
+        Alcotest.test_case "engine counters" `Quick test_engine_counters;
+        Alcotest.test_case "tcp listener close + RST" `Quick
+          test_tcp_listener_close_refuses;
+        Alcotest.test_case "substrate listener reclaim" `Quick
+          test_substrate_listener_close_reclaims;
+        Alcotest.test_case "ip reassembly eviction" `Quick
+          test_ip_reassembly_eviction;
+        Alcotest.test_case "switch counters" `Quick
+          test_switch_counters_after_traffic;
+      ] );
+  ]

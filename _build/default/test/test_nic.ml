@@ -1,0 +1,210 @@
+(* Tests for the NIC model: tag matching list semantics and walk
+   accounting, Tigon resources and transmit backpressure. *)
+open Uls_engine
+open Uls_nic
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Match_list --- *)
+
+let test_match_basic () =
+  let ml = Match_list.create () in
+  Match_list.post ml ~src:1 ~tag:10 "a";
+  Match_list.post ml ~src:1 ~tag:11 "b";
+  (match Match_list.take ml ~src:1 ~tag:11 with
+  | Some ("b", walked) -> check_int "walked past a" 2 walked
+  | _ -> Alcotest.fail "expected b");
+  check_int "one left" 1 (Match_list.length ml);
+  (match Match_list.take ml ~src:1 ~tag:10 with
+  | Some ("a", walked) -> check_int "head match walks 1" 1 walked
+  | _ -> Alcotest.fail "expected a")
+
+let test_match_fifo_same_tag () =
+  let ml = Match_list.create () in
+  Match_list.post ml ~src:1 ~tag:5 "first";
+  Match_list.post ml ~src:1 ~tag:5 "second";
+  (match Match_list.take ml ~src:1 ~tag:5 with
+  | Some ("first", 1) -> ()
+  | _ -> Alcotest.fail "FIFO violated");
+  match Match_list.take ml ~src:1 ~tag:5 with
+  | Some ("second", 1) -> ()
+  | _ -> Alcotest.fail "second not found at head"
+
+let test_match_src_filter () =
+  let ml = Match_list.create () in
+  Match_list.post ml ~src:1 ~tag:5 "from1";
+  Match_list.post ml ~src:2 ~tag:5 "from2";
+  (match Match_list.take ml ~src:2 ~tag:5 with
+  | Some ("from2", 2) -> ()
+  | _ -> Alcotest.fail "src filter failed");
+  check_int "from1 remains" 1 (Match_list.length ml)
+
+let test_match_wildcards () =
+  let ml = Match_list.create () in
+  Match_list.post ml ~src:(-1) ~tag:9 "anysrc";
+  (match Match_list.take ml ~src:42 ~tag:9 with
+  | Some ("anysrc", _) -> ()
+  | _ -> Alcotest.fail "wildcard src should match");
+  Match_list.post ml ~src:3 ~tag:(-1) "anytag";
+  match Match_list.take ml ~src:3 ~tag:12345 with
+  | Some ("anytag", _) -> ()
+  | _ -> Alcotest.fail "wildcard tag should match"
+
+let test_match_miss_walks_all () =
+  let ml = Match_list.create () in
+  for i = 0 to 9 do
+    Match_list.post ml ~src:1 ~tag:i i
+  done;
+  check_bool "no match" true (Match_list.take ml ~src:1 ~tag:99 = None);
+  check_int "all still posted" 10 (Match_list.length ml)
+
+let test_unpost () =
+  let ml = Match_list.create () in
+  for i = 0 to 4 do
+    Match_list.post ml ~src:1 ~tag:i i
+  done;
+  let removed = Match_list.unpost_matching ml (fun v -> v mod 2 = 0) in
+  Alcotest.(check (list int)) "evens removed" [ 0; 2; 4 ] removed;
+  check_int "two left" 2 (Match_list.length ml);
+  let rest = Match_list.unpost_all ml in
+  Alcotest.(check (list int)) "rest in order" [ 1; 3 ] rest;
+  check_int "empty" 0 (Match_list.length ml)
+
+let test_removed_not_counted_in_walk () =
+  let ml = Match_list.create () in
+  for i = 0 to 9 do
+    Match_list.post ml ~src:1 ~tag:i i
+  done;
+  ignore (Match_list.unpost_matching ml (fun v -> v < 9));
+  match Match_list.take ml ~src:1 ~tag:9 with
+  | Some (9, walked) -> check_int "tombstones are free to skip" 1 walked
+  | _ -> Alcotest.fail "expected 9"
+
+let test_compaction_preserves_order () =
+  let ml = Match_list.create () in
+  for i = 0 to 99 do
+    Match_list.post ml ~src:1 ~tag:i i
+  done;
+  (* Remove most entries to trigger compaction, then check the rest. *)
+  ignore (Match_list.unpost_matching ml (fun v -> v mod 10 <> 0));
+  let rest = ref [] in
+  Match_list.iter ml (fun v -> rest := v :: !rest);
+  Alcotest.(check (list int)) "order kept"
+    [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90 ]
+    (List.rev !rest)
+
+let prop_match_list_vs_model =
+  (* Compare against a naive list model under random post/take. *)
+  QCheck.Test.make ~name:"match_list equals naive model" ~count:200
+    QCheck.(list (pair bool (pair (int_range 0 3) (int_range 0 3))))
+    (fun ops ->
+      let ml = Match_list.create () in
+      let model = ref [] in
+      let counter = ref 0 in
+      List.for_all
+        (fun (is_post, (src, tag)) ->
+          if is_post then begin
+            incr counter;
+            Match_list.post ml ~src ~tag !counter;
+            model := !model @ [ (src, tag, !counter) ];
+            true
+          end
+          else begin
+            let expected =
+              let rec find = function
+                | [] -> None
+                | (s, g, v) :: rest ->
+                  if (s = -1 || s = src) && (g = -1 || g = tag) then begin
+                    model := List.filter (fun (_, _, v') -> v' <> v) !model;
+                    Some v
+                  end
+                  else
+                    (match find rest with
+                    | some -> some)
+              in
+              find !model
+            in
+            match (Match_list.take ml ~src ~tag, expected) with
+            | Some (v, _), Some v' -> v = v'
+            | None, None -> true
+            | _ -> false
+          end)
+        ops)
+
+(* --- Tigon --- *)
+
+let mk_nic () =
+  let sim = Sim.create () in
+  let model = Uls_host.Cost_model.paper_testbed in
+  let net = Uls_ether.Network.create sim ~stations:2 () in
+  (sim, Tigon.create sim model net ~node:0, net)
+
+let test_tigon_resources_serialize () =
+  let sim, nic, _ = mk_nic () in
+  let done_at = Array.make 2 0 in
+  for i = 0 to 1 do
+    Sim.spawn sim (fun () ->
+        Tigon.tx_work nic 1_000;
+        done_at.(i) <- Sim.now sim)
+  done;
+  ignore (Sim.run sim);
+  Alcotest.(check (array int)) "tx core FIFO" [| 1_000; 2_000 |] done_at
+
+let test_tigon_dma_cost () =
+  let sim, nic, _ = mk_nic () in
+  Sim.spawn sim (fun () -> Tigon.dma nic ~bytes:1_000);
+  ignore (Sim.run sim);
+  check_int "dma setup + per byte" (1_800 + 1_900) (Sim.now sim)
+
+let test_tigon_backpressure () =
+  let sim, nic, _net = mk_nic () in
+  (* Blast 20 full frames; the MAC FIFO (~100 us) must throttle the
+     transmitting fiber rather than queue 20 frames' wire time. *)
+  let sent_all_at = ref 0 in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 20 do
+        Tigon.transmit nic
+          (Uls_ether.Frame.make ~src:0 ~dst:1 ~payload_len:1500 Uls_ether.Frame.Raw)
+      done;
+      sent_all_at := Sim.now sim);
+  ignore (Sim.run sim);
+  (* 20 frames x 12.3 us of wire time is ~246 us; with a 100 us FIFO the
+     sender must have been stalled until roughly total - fifo. *)
+  check_bool "sender throttled" true (!sent_all_at > 100_000);
+  check_bool "but not serialized to the last frame" true (!sent_all_at < 246_080)
+
+let test_tigon_rx_dispatch () =
+  let sim, nic, net = mk_nic () in
+  let nic1 = Tigon.create sim Uls_host.Cost_model.paper_testbed net ~node:1 in
+  let got = ref 0 in
+  Tigon.set_firmware_rx nic1 (fun _ -> incr got);
+  Sim.spawn sim (fun () ->
+      Tigon.transmit nic
+        (Uls_ether.Frame.make ~src:0 ~dst:1 ~payload_len:64 Uls_ether.Frame.Raw));
+  ignore (Sim.run sim);
+  check_int "firmware handler ran" 1 !got;
+  check_int "counter" 1 (Tigon.frames_received nic1)
+
+let suites =
+  [
+    ( "nic.match_list",
+      Alcotest.test_case "basic" `Quick test_match_basic
+      :: Alcotest.test_case "FIFO same tag" `Quick test_match_fifo_same_tag
+      :: Alcotest.test_case "src filter" `Quick test_match_src_filter
+      :: Alcotest.test_case "wildcards" `Quick test_match_wildcards
+      :: Alcotest.test_case "miss walks all" `Quick test_match_miss_walks_all
+      :: Alcotest.test_case "unpost" `Quick test_unpost
+      :: Alcotest.test_case "tombstones free" `Quick
+           test_removed_not_counted_in_walk
+      :: Alcotest.test_case "compaction order" `Quick
+           test_compaction_preserves_order
+      :: List.map QCheck_alcotest.to_alcotest [ prop_match_list_vs_model ] );
+    ( "nic.tigon",
+      [
+        Alcotest.test_case "resource FIFO" `Quick test_tigon_resources_serialize;
+        Alcotest.test_case "dma cost" `Quick test_tigon_dma_cost;
+        Alcotest.test_case "tx backpressure" `Quick test_tigon_backpressure;
+        Alcotest.test_case "rx dispatch" `Quick test_tigon_rx_dispatch;
+      ] );
+  ]

@@ -1,0 +1,710 @@
+(* Tests for the sockets-over-EMP substrate: connection management,
+   streaming vs datagram semantics, credit flow control, rendezvous
+   (including the Figure 7 deadlock), enhancement options, resource
+   reclamation, select. *)
+open Uls_engine
+open Uls_api.Sockets_api
+module Opt = Uls_substrate.Options
+module Sub = Uls_substrate.Substrate
+module E = Uls_emp.Endpoint
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let ds = Opt.data_streaming_enhanced
+let dg = Opt.datagram
+
+let with_cluster ?(opts = ds) ~n f =
+  let c = Uls_bench.Cluster.create ~n () in
+  let api = Uls_bench.Cluster.substrate_api ~opts c in
+  f c api (Uls_bench.Cluster.sim c)
+
+let test_connect_exchange () =
+  with_cluster ~n:2 (fun c api sim ->
+      let got = ref "" in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:4 in
+          let s, peer = l.accept () in
+          check_int "client node" 0 peer.node;
+          got := recv_exact s 5;
+          s.send "world";
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          s.send "hello";
+          check_str "reply" "world" (recv_exact s 5);
+          check_str "eof" "" (s.recv 4);
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      check_str "request" "hello" !got)
+
+let test_connection_refused () =
+  let opts = { ds with Opt.connect_timeout = Time.ms 5 } in
+  with_cluster ~opts ~n:2 (fun c api sim ->
+      let refused = ref false in
+      Sim.spawn sim (fun () ->
+          try ignore (api.connect ~node:0 { node = 1; port = 99 })
+          with Connection_refused _ -> refused := true);
+      ignore (Uls_bench.Cluster.run c);
+      check_bool "refused" true !refused)
+
+let test_streaming_partial_reads () =
+  (* The paper's §5.2 example: send 10 bytes, read them as 2 x 5. *)
+  with_cluster ~n:2 (fun c api sim ->
+      let parts = ref [] in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          let first = recv_exact s 5 in
+          let second = recv_exact s 5 in
+          parts := [ first; second ];
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          s.send "0123456789";
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      Alcotest.(check (list string)) "split read" [ "01234"; "56789" ] !parts)
+
+let test_streaming_coalesced_reads () =
+  (* Two writes read back in one recv (boundaries are not preserved). *)
+  with_cluster ~n:2 (fun c api sim ->
+      let got = ref "" in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          Sim.delay sim (Time.ms 1);
+          (* both messages have arrived by now *)
+          got := recv_exact s 8;
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          s.send "aaaa";
+          s.send "bbbb";
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      check_str "coalesced" "aaaabbbb" !got)
+
+let test_datagram_boundaries () =
+  with_cluster ~opts:dg ~n:2 (fun c api sim ->
+      let reads = ref [] in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          for _ = 1 to 3 do
+            reads := s.recv 100 :: !reads
+          done;
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          s.send "first";
+          s.send "second";
+          s.send "third";
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      Alcotest.(check (list string))
+        "one message per recv" [ "first"; "second"; "third" ] (List.rev !reads))
+
+let test_datagram_truncation () =
+  with_cluster ~opts:dg ~n:2 (fun c api sim ->
+      let reads = ref [] in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          let first = s.recv 3 in
+          let second = s.recv 10 in
+          reads := [ first; second ];
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          s.send "truncate-me";
+          s.send "next";
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      Alcotest.(check (list string))
+        "short read truncates the datagram" [ "tru"; "next" ] !reads)
+
+let test_large_transfer_integrity_ds () =
+  with_cluster ~n:2 (fun c api sim ->
+      let total = 1_000_000 in
+      let payload = String.init total (fun i -> Char.chr ((i * 13) mod 256)) in
+      let received = Buffer.create total in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          let rec pull () =
+            let chunk = s.recv 48_000 in
+            if chunk <> "" then begin
+              Buffer.add_string received chunk;
+              pull ()
+            end
+          in
+          pull ();
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          s.send payload;
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      check_bool "1MB stream intact" true
+        (String.equal payload (Buffer.contents received)))
+
+let test_rendezvous_large_datagram () =
+  with_cluster ~opts:dg ~n:2 (fun c api sim ->
+      (* Over eager_max: travels via the rendezvous zero-copy path. *)
+      let size = 100_000 in
+      let payload = String.init size (fun i -> Char.chr ((i * 3) mod 256)) in
+      let got = ref "" in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          got := s.recv size;
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          s.send payload;
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      check_bool "rendezvous payload intact" true (String.equal payload !got))
+
+let test_rendezvous_interleaves_with_eager_in_order () =
+  with_cluster ~opts:dg ~n:2 (fun c api sim ->
+      let big = String.make 50_000 'B' in
+      let reads = ref [] in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          for _ = 1 to 3 do
+            reads := String.length (s.recv 60_000) :: !reads
+          done;
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          s.send "small1";
+          s.send big;
+          s.send "small2";
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      Alcotest.(check (list int))
+        "arrival order preserved across paths" [ 6; 50_000; 6 ] (List.rev !reads))
+
+let test_credit_exhaustion_blocks_writer () =
+  let opts = { ds with Opt.credits = 4; buffer_size = 4_096 } in
+  with_cluster ~opts ~n:2 (fun c api sim ->
+      let writer_done = ref 0 and reader_started = ref 0 in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          Sim.delay sim (Time.ms 10);
+          reader_started := Sim.now sim;
+          let rec drain got =
+            if got < 100_000 then drain (got + String.length (s.recv 8_192))
+          in
+          drain 0;
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          (* 100 KB through 4 x 4 KB credits: must stall until reads. *)
+          s.send (String.make 100_000 'c');
+          writer_done := Sim.now sim;
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      check_bool "writer waited for credits" true (!writer_done > !reader_started))
+
+let test_eager_tolerates_crossing_writes () =
+  (* Figure 9: up to N outstanding writes before the matching reads. *)
+  with_cluster ~n:2 (fun c api sim ->
+      let completed = ref 0 in
+      let payload = String.make 4_096 'x' in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          s.send payload;
+          ignore (recv_exact s 4_096);
+          incr completed;
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          s.send payload;
+          ignore (recv_exact s 4_096);
+          incr completed;
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      check_int "both sides completed" 2 !completed)
+
+let test_rendezvous_deadlock_figure7 () =
+  let opts = { ds with Opt.scheme = Opt.Rendezvous } in
+  with_cluster ~opts ~n:2 (fun c api sim ->
+      let completed = ref 0 in
+      let payload = String.make 4_096 'x' in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          s.send payload;
+          ignore (recv_exact s 4_096);
+          incr completed);
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          s.send payload;
+          ignore (recv_exact s 4_096);
+          incr completed);
+      (match Uls_bench.Cluster.run ~until:(Time.ms 200) c with
+      | `Time_limit | `Quiescent | `Stopped -> ());
+      check_int "neither side progressed" 0 !completed;
+      check_bool "writers parked" true (Sim.blocked_fibers sim >= 2))
+
+let test_close_reclaims_descriptors () =
+  with_cluster ~n:2 (fun c api sim ->
+      let emp1 = Uls_bench.Cluster.emp c 1 in
+      let baseline = ref 0 and during = ref 0 and after = ref 0 in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:2 in
+          baseline := E.posted_descriptors emp1;
+          let s, _ = l.accept () in
+          during := E.posted_descriptors emp1;
+          ignore (recv_exact s 3);
+          s.close ();
+          Sim.delay sim (Time.ms 1);
+          after := E.posted_descriptors emp1);
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          s.send "bye";
+          Sim.delay sim (Time.ms 30);
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      check_bool "connection posted descriptors" true (!during > !baseline);
+      check_int "close unposted them all" !baseline !after)
+
+let test_close_message_preserves_tail_data () =
+  (* Writer sends a multi-frame message and closes immediately; the
+     reader must still get every byte before EOF (close carries a
+     sequence number so it cannot overtake data). *)
+  with_cluster ~n:2 (fun c api sim ->
+      let got = ref 0 in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          let rec drain () =
+            let chunk = s.recv 65_536 in
+            if chunk <> "" then begin
+              got := !got + String.length chunk;
+              drain ()
+            end
+          in
+          drain ();
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          s.send (String.make 50_000 't');
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      check_int "all bytes before EOF" 50_000 !got)
+
+let test_send_to_closed_peer_raises () =
+  with_cluster ~n:2 (fun c api sim ->
+      let raised = ref false in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          Sim.delay sim (Time.ms 1);
+          (try s.send "too late" with Connection_closed -> raised := true);
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      check_bool "write after peer close raises" true !raised)
+
+let test_backlog_queues_connections () =
+  with_cluster ~n:4 (fun c api sim ->
+      let served = ref [] in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:0 ~port:80 ~backlog:3 in
+          for _ = 1 to 3 do
+            let s, peer = l.accept () in
+            served := peer.node :: !served;
+            ignore (recv_exact s 1);
+            s.close ()
+          done);
+      for client = 1 to 3 do
+        Sim.spawn sim (fun () ->
+            Sim.delay sim (Time.us (10 * client));
+            let s = api.connect ~node:client { node = 0; port = 80 } in
+            s.send "x";
+            Sim.delay sim (Time.ms 20);
+            s.close ())
+      done;
+      ignore (Uls_bench.Cluster.run c);
+      Alcotest.(check (list int)) "accepted in request order" [ 1; 2; 3 ]
+        (List.rev !served))
+
+let test_bind_in_use () =
+  with_cluster ~n:2 (fun c api sim ->
+      let raised = ref false in
+      Sim.spawn sim (fun () ->
+          let _l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          try ignore (api.listen ~node:1 ~port:80 ~backlog:1)
+          with Bind_in_use _ -> raised := true);
+      ignore (Uls_bench.Cluster.run c);
+      check_bool "second bind rejected" true !raised)
+
+let test_select_substrate () =
+  with_cluster ~n:3 (fun c api sim ->
+      let order = ref [] in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:0 ~port:80 ~backlog:2 in
+          let s1, _ = l.accept () in
+          let s2, _ = l.accept () in
+          for _ = 1 to 2 do
+            let ready = api.select ~node:0 [ s1; s2 ] in
+            List.iter
+              (fun s ->
+                let m = s.recv 16 in
+                if m <> "" then order := m :: !order)
+              ready
+          done;
+          s1.close ();
+          s2.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:1 { node = 0; port = 80 } in
+          Sim.delay sim (Time.ms 3);
+          s.send "late";
+          Sim.delay sim (Time.ms 10);
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 20);
+          let s = api.connect ~node:2 { node = 0; port = 80 } in
+          Sim.delay sim (Time.ms 1);
+          s.send "early";
+          Sim.delay sim (Time.ms 10);
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      Alcotest.(check (list string)) "select wake order" [ "early"; "late" ]
+        (List.rev !order))
+
+let test_uq_option_uses_unexpected_queue () =
+  with_cluster ~opts:{ ds with Opt.credits = 4 } ~n:2 (fun c api sim ->
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          for _ = 1 to 20 do
+            ignore (recv_exact s 64)
+          done;
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          for _ = 1 to 20 do
+            s.send (String.make 64 'u')
+          done;
+          Sim.delay sim (Time.ms 5);
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      (* The client's credit acks arrive with no pre-posted descriptor
+         and are absorbed by the unexpected queue. *)
+      check_bool "acks landed in the UQ" true
+        ((E.stats (Uls_bench.Cluster.emp c 0)).E.unexpected_queue_hits > 0))
+
+let test_piggyback_reduces_messages () =
+  let count_messages piggyback =
+    let opts = { ds with Opt.piggyback; delayed_acks = false } in
+    with_cluster ~opts ~n:2 (fun c api sim ->
+        Sim.spawn sim (fun () ->
+            let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+            let s, _ = l.accept () in
+            for _ = 1 to 20 do
+              s.send (recv_exact s 8)
+            done;
+            s.close ());
+        Sim.spawn sim (fun () ->
+            Sim.delay sim (Time.us 10);
+            let s = api.connect ~node:0 { node = 1; port = 80 } in
+            for _ = 1 to 20 do
+              s.send "12345678";
+              ignore (recv_exact s 8)
+            done;
+            s.close ());
+        ignore (Uls_bench.Cluster.run c);
+        (E.stats (Uls_bench.Cluster.emp c 1)).E.messages_sent)
+  in
+  let without = count_messages false in
+  let with_pb = count_messages true in
+  check_bool "piggyback eliminates explicit acks" true (with_pb < without)
+
+let test_comm_thread_scheme () =
+  (* §5.2 alternative 1: no credits/acks; the comm thread reposts. *)
+  let opts = { ds with Opt.scheme = Opt.Comm_thread } in
+  with_cluster ~opts ~n:2 (fun c api sim ->
+      let total = 200_000 in
+      let payload = String.init total (fun i -> Char.chr ((i * 5) mod 256)) in
+      let received = Buffer.create total in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          let rec pull () =
+            let chunk = s.recv 65_536 in
+            if chunk <> "" then begin
+              Buffer.add_string received chunk;
+              pull ()
+            end
+          in
+          pull ();
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          s.send payload;
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      check_bool "comm-thread stream intact" true
+        (String.equal payload (Buffer.contents received));
+      (* no substrate-level credit acks at all *)
+      let tags_acked =
+        (E.stats (Uls_bench.Cluster.emp c 0)).E.unexpected_queue_hits
+      in
+      check_int "no credit acks" 0 tags_acked)
+
+let test_comm_thread_unresponsive_reader_recovers () =
+  (* With no flow control, a sleeping reader exhausts the 2N buffers;
+     EMP retransmission recovers once it drains (the congestion the
+     paper warns about in 5.2). *)
+  let opts =
+    { ds with Opt.scheme = Opt.Comm_thread; credits = 2; buffer_size = 4_096 }
+  in
+  with_cluster ~opts ~n:2 (fun c api sim ->
+      let total = 60_000 in
+      let got = ref 0 in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          Sim.delay sim (Time.ms 20);
+          let rec pull () =
+            let chunk = s.recv 65_536 in
+            if chunk <> "" then begin
+              got := !got + String.length chunk;
+              pull ()
+            end
+          in
+          pull ();
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          s.send (String.make total 'z');
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      check_int "all bytes eventually delivered" total !got;
+      check_bool "retransmissions occurred" true
+        ((E.stats (Uls_bench.Cluster.emp c 0)).E.frames_retransmitted > 0))
+
+let test_block_send_completes_and_costs_rtt () =
+  let run block_send =
+    let opts = { ds with Opt.block_send } in
+    with_cluster ~opts ~n:2 (fun c api sim ->
+        let finish = ref 0 in
+        Sim.spawn sim (fun () ->
+            let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+            let s, _ = l.accept () in
+            for _ = 1 to 10 do
+              ignore (recv_exact s 64)
+            done;
+            s.close ());
+        Sim.spawn sim (fun () ->
+            Sim.delay sim (Time.us 10);
+            let s = api.connect ~node:0 { node = 1; port = 80 } in
+            for _ = 1 to 10 do
+              s.send (String.make 64 'b')
+            done;
+            finish := Sim.now sim;
+            s.close ());
+        ignore (Uls_bench.Cluster.run c);
+        !finish)
+  in
+  let normal = run false and blocking = run true in
+  check_bool "blocking send is much slower" true (blocking > 2 * normal)
+
+let test_many_connections_interleaved () =
+  (* Several simultaneous sockets between the same pair of nodes: tag
+     matching must keep their byte streams apart. *)
+  with_cluster ~n:2 (fun c api sim ->
+      let conns = 5 and per_conn = 30_000 in
+      let payload k =
+        String.init per_conn (fun i -> Char.chr (((i * 7) + (k * 31)) mod 256))
+      in
+      let results = Array.make conns "" in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:conns in
+          for _ = 1 to conns do
+            let s, _ = l.accept () in
+            Sim.spawn sim (fun () ->
+                let k = int_of_string (recv_exact s 1) in
+                results.(k) <- recv_exact s per_conn;
+                s.close ())
+          done);
+      for k = 0 to conns - 1 do
+        Sim.spawn sim (fun () ->
+            Sim.delay sim (Time.us (10 * (k + 1)));
+            let s = api.connect ~node:0 { node = 1; port = 80 } in
+            s.send (string_of_int k);
+            s.send (payload k);
+            Sim.delay sim (Time.ms 50);
+            s.close ())
+      done;
+      ignore (Uls_bench.Cluster.run c);
+      for k = 0 to conns - 1 do
+        check_bool
+          (Printf.sprintf "stream %d kept separate" k)
+          true
+          (String.equal results.(k) (payload k))
+      done)
+
+let test_substrate_loss_recovery () =
+  (* EMP's NIC-level reliability hides switch drops from the sockets
+     layer entirely. *)
+  with_cluster ~n:2 (fun c api sim ->
+      let rng = Rng.create ~seed:11 in
+      Uls_ether.Network.set_fault_filter (Uls_bench.Cluster.network c) (fun _ ->
+          Rng.int rng 20 = 0);
+      let total = 300_000 in
+      let payload = String.init total (fun i -> Char.chr ((i * 29) mod 256)) in
+      let received = Buffer.create total in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          let rec pull () =
+            let chunk = s.recv 65_536 in
+            if chunk <> "" then begin
+              Buffer.add_string received chunk;
+              pull ()
+            end
+          in
+          pull ();
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          s.send payload;
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      check_bool "stream intact under 5% loss" true
+        (String.equal payload (Buffer.contents received));
+      check_bool "EMP retransmitted" true
+        ((E.stats (Uls_bench.Cluster.emp c 0)).E.frames_retransmitted > 0))
+
+let prop_ds_stream_integrity =
+  QCheck.Test.make ~name:"substrate DS preserves random byte streams" ~count:15
+    QCheck.(pair (int_range 1 120_000) (int_range 1 30_000))
+    (fun (total, read_chunk) ->
+      with_cluster ~n:2 (fun c api sim ->
+          let payload = String.init total (fun i -> Char.chr ((i * 17) mod 256)) in
+          let received = Buffer.create total in
+          Sim.spawn sim (fun () ->
+              let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+              let s, _ = l.accept () in
+              let rec pull () =
+                let chunk = s.recv read_chunk in
+                if chunk <> "" then begin
+                  Buffer.add_string received chunk;
+                  pull ()
+                end
+              in
+              pull ();
+              s.close ());
+          Sim.spawn sim (fun () ->
+              Sim.delay sim (Time.us 10);
+              let s = api.connect ~node:0 { node = 1; port = 80 } in
+              s.send payload;
+              s.close ());
+          ignore (Uls_bench.Cluster.run c);
+          String.equal payload (Buffer.contents received)))
+
+let prop_dg_message_count =
+  QCheck.Test.make ~name:"substrate DG: k sends = k recvs" ~count:15
+    QCheck.(list_of_size Gen.(1 -- 10) (int_range 1 4_000))
+    (fun sizes ->
+      with_cluster ~opts:dg ~n:2 (fun c api sim ->
+          let got = ref [] in
+          let k = List.length sizes in
+          Sim.spawn sim (fun () ->
+              let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+              let s, _ = l.accept () in
+              for _ = 1 to k do
+                got := String.length (s.recv 1_000_000) :: !got
+              done;
+              s.close ());
+          Sim.spawn sim (fun () ->
+              Sim.delay sim (Time.us 10);
+              let s = api.connect ~node:0 { node = 1; port = 80 } in
+              List.iter (fun n -> s.send (String.make n 'd')) sizes;
+              s.close ());
+          ignore (Uls_bench.Cluster.run c);
+          List.rev !got = sizes))
+
+let suites =
+  [
+    ( "substrate.connection",
+      [
+        Alcotest.test_case "connect+exchange" `Quick test_connect_exchange;
+        Alcotest.test_case "refused" `Quick test_connection_refused;
+        Alcotest.test_case "backlog order" `Quick test_backlog_queues_connections;
+        Alcotest.test_case "bind in use" `Quick test_bind_in_use;
+      ] );
+    ( "substrate.streaming",
+      Alcotest.test_case "partial reads (5+5)" `Quick test_streaming_partial_reads
+      :: Alcotest.test_case "coalesced reads" `Quick test_streaming_coalesced_reads
+      :: Alcotest.test_case "1MB integrity" `Quick test_large_transfer_integrity_ds
+      :: List.map QCheck_alcotest.to_alcotest [ prop_ds_stream_integrity ] );
+    ( "substrate.datagram",
+      Alcotest.test_case "boundaries" `Quick test_datagram_boundaries
+      :: Alcotest.test_case "truncation" `Quick test_datagram_truncation
+      :: Alcotest.test_case "rendezvous large" `Quick test_rendezvous_large_datagram
+      :: Alcotest.test_case "eager/rendezvous order" `Quick
+           test_rendezvous_interleaves_with_eager_in_order
+      :: List.map QCheck_alcotest.to_alcotest [ prop_dg_message_count ] );
+    ( "substrate.flow_control",
+      [
+        Alcotest.test_case "credit exhaustion" `Quick
+          test_credit_exhaustion_blocks_writer;
+        Alcotest.test_case "crossing writes (eager)" `Quick
+          test_eager_tolerates_crossing_writes;
+        Alcotest.test_case "Figure 7 deadlock (rendezvous)" `Quick
+          test_rendezvous_deadlock_figure7;
+        Alcotest.test_case "UQ absorbs acks" `Quick
+          test_uq_option_uses_unexpected_queue;
+        Alcotest.test_case "piggyback" `Quick test_piggyback_reduces_messages;
+        Alcotest.test_case "comm-thread scheme" `Quick test_comm_thread_scheme;
+        Alcotest.test_case "comm-thread overload recovery" `Quick
+          test_comm_thread_unresponsive_reader_recovers;
+        Alcotest.test_case "blocking send" `Quick
+          test_block_send_completes_and_costs_rtt;
+      ] );
+    ( "substrate.lifecycle",
+      [
+        Alcotest.test_case "descriptors reclaimed" `Quick
+          test_close_reclaims_descriptors;
+        Alcotest.test_case "close preserves tail" `Quick
+          test_close_message_preserves_tail_data;
+        Alcotest.test_case "send to closed peer" `Quick
+          test_send_to_closed_peer_raises;
+        Alcotest.test_case "select" `Quick test_select_substrate;
+        Alcotest.test_case "many interleaved connections" `Quick
+          test_many_connections_interleaved;
+        Alcotest.test_case "loss recovery" `Quick test_substrate_loss_recovery;
+      ] );
+  ]
