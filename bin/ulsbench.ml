@@ -105,7 +105,80 @@ let bandwidth_cmd =
     (Cmd.info "bandwidth" ~doc:"Unidirectional stream bandwidth")
     Term.(const run $ stack $ msg $ total)
 
+(* --- collectives -------------------------------------------------------- *)
+
+let alg_conv =
+  let parse = function
+    | "linear" -> Ok Uls_collective.Group.Linear
+    | "binomial" -> Ok Uls_collective.Group.Binomial_tree
+    | "recdbl" -> Ok Uls_collective.Group.Recursive_doubling
+    | "nic" -> Ok Uls_collective.Group.Nic_forward
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  let print fmt a =
+    Format.pp_print_string fmt (Uls_collective.Group.algorithm_name a)
+  in
+  Arg.conv (parse, print)
+
+let coll_op_conv =
+  let parse = function
+    | "barrier" -> Ok `Barrier
+    | "bcast" -> Ok `Bcast
+    | "allreduce" -> Ok `Allreduce
+    | s -> Error (`Msg (Printf.sprintf "unknown collective op %S" s))
+  in
+  let print fmt o =
+    Format.pp_print_string fmt
+      (match o with
+      | `Barrier -> "barrier"
+      | `Bcast -> "bcast"
+      | `Allreduce -> "allreduce")
+  in
+  Arg.conv (parse, print)
+
+let collective_cmd =
+  let op =
+    Arg.(value & opt coll_op_conv `Barrier & info [ "op" ] ~docv:"OP"
+           ~doc:"barrier | bcast | allreduce")
+  in
+  let alg =
+    Arg.(value & opt alg_conv Uls_collective.Group.Binomial_tree
+         & info [ "alg" ] ~docv:"ALG" ~doc:"linear | binomial | recdbl | nic")
+  in
+  let nodes =
+    Arg.(value & opt int 8 & info [ "nodes" ] ~docv:"N" ~doc:"Group size.")
+  in
+  let size =
+    Arg.(value & opt int 65_536 & info [ "size" ] ~docv:"BYTES"
+           ~doc:"Payload size (bcast/allreduce only).")
+  in
+  let iters = Arg.(value & opt int 10 & info [ "iters" ] ~doc:"Iterations.") in
+  let run op alg nodes size iters =
+    if nodes < 1 then begin
+      prerr_endline "ulsbench: --nodes must be at least 1";
+      exit 124
+    end;
+    let alg_name = Uls_collective.Group.algorithm_name alg in
+    match op with
+    | `Barrier ->
+      let us = Uls_bench.Microbench.barrier_latency ~iters ~alg ~nodes () in
+      Printf.printf "%d-node %s barrier: %.2f us\n" nodes alg_name us
+    | (`Bcast | `Allreduce) as op ->
+      let mbps =
+        Uls_bench.Microbench.coll_bandwidth ~iters ~op ~alg ~nodes ~size ()
+      in
+      Printf.printf "%d-node %s %s (%d B): %.1f Mb/s\n" nodes alg_name
+        (match op with `Bcast -> "bcast" | `Allreduce -> "allreduce")
+        size mbps
+  in
+  Cmd.v
+    (Cmd.info "collective"
+       ~doc:"Collective latency/bandwidth over an EMP group")
+    Term.(const run $ op $ alg $ nodes $ size $ iters)
+
 let () =
   let doc = "Sockets-over-EMP reproduction benchmarks (simulated testbed)" in
   let info = Cmd.info "ulsbench" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ figures_cmd; latency_cmd; bandwidth_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ figures_cmd; latency_cmd; bandwidth_cmd; collective_cmd ]))

@@ -688,6 +688,82 @@ let ablation_ackwindow ?(quick = false) () =
   }
 
 (* ---------------------------------------------------------------------- *)
+(* Collectives: barrier latency vs node count, bcast/allreduce bandwidth  *)
+(* ---------------------------------------------------------------------- *)
+
+module Coll = Uls_collective.Group
+
+let coll_algs =
+  [
+    Coll.Linear; Coll.Binomial_tree; Coll.Recursive_doubling; Coll.Nic_forward;
+  ]
+
+let coll_barrier ?(quick = false) () =
+  let iters = if quick then 4 else 10 in
+  let node_counts = if quick then [ 2; 8 ] else [ 2; 4; 8; 16 ] in
+  let rows =
+    List.map
+      (fun nodes ->
+        Table.cell_i nodes
+        :: List.map
+             (fun alg ->
+               Table.cell_f2 (Microbench.barrier_latency ~iters ~alg ~nodes ()))
+             coll_algs)
+      node_counts
+  in
+  {
+    Table.id = "coll-barrier";
+    title = "Barrier latency (us) vs node count, per algorithm";
+    header = "nodes" :: List.map Coll.algorithm_name coll_algs;
+    rows;
+    notes =
+      [
+        "linear grows O(N); binomial and recursive-doubling grow O(log N)";
+        "nic-forward combines arrivals on the Tigon, skipping 2(N-1) host wakeups";
+      ];
+  }
+
+let coll_bw ?(quick = false) () =
+  let iters = if quick then 3 else 5 in
+  let nodes = 8 in
+  let sizes =
+    if quick then [ 8192; 65_536 ] else [ 1024; 8192; 65_536; 524_288 ]
+  in
+  let cell ~op ~alg size =
+    Table.cell_f (Microbench.coll_bandwidth ~iters ~op ~alg ~nodes ~size ())
+  in
+  let rows =
+    List.map
+      (fun size ->
+        [
+          Table.cell_i size;
+          cell ~op:`Bcast ~alg:Coll.Linear size;
+          cell ~op:`Bcast ~alg:Coll.Binomial_tree size;
+          cell ~op:`Bcast ~alg:Coll.Nic_forward size;
+          cell ~op:`Allreduce ~alg:Coll.Linear size;
+          cell ~op:`Allreduce ~alg:Coll.Recursive_doubling size;
+        ])
+      sizes
+  in
+  {
+    Table.id = "coll-bw";
+    title =
+      Printf.sprintf
+        "Collective bandwidth (Mb/s, %d nodes) vs message size" nodes;
+    header =
+      [
+        "size(B)"; "bcast-lin"; "bcast-bin"; "bcast-nic"; "allred-lin";
+        "allred-rd";
+      ];
+    rows;
+    notes =
+      [
+        "bcast-nic re-frames on the NIC for single-frame payloads, else falls back to binomial";
+        "allred-rd is the MPICH recursive-doubling exchange (reduce-scatter flavoured)";
+      ];
+  }
+
+(* ---------------------------------------------------------------------- *)
 
 let all ?quick () =
   [
@@ -708,6 +784,8 @@ let all ?quick () =
     ablation_ackwindow ?quick ();
     ablation_cpu_util ?quick ();
     ablation_udp ?quick ();
+    coll_barrier ?quick ();
+    coll_bw ?quick ();
   ]
 
 let by_id =
@@ -729,4 +807,6 @@ let by_id =
     ("abl-ackwindow", ablation_ackwindow);
     ("abl-cpu", ablation_cpu_util);
     ("abl-udp", ablation_udp);
+    ("coll-barrier", coll_barrier);
+    ("coll-bw", coll_bw);
   ]

@@ -158,6 +158,59 @@ let bandwidth ?(total = 16 * 1024 * 1024) ~kind ~msg () =
   | Emp_raw -> emp_bandwidth ~msg ~total
   | Tcp _ | Sub _ -> api_bandwidth ~kind ~msg ~total
 
+(* --- collectives ------------------------------------------------------ *)
+
+module Coll = Uls_collective.Group
+
+(* Run one EMP group fiber per rank; [f] performs a single collective.
+   A warm-up call absorbs group-formation skew, then [iters] calls are
+   timed between per-rank timestamps: (max finish - min start) is the
+   wall-clock span of the whole batch. *)
+let coll_span ~nodes ~iters f =
+  let c = Cluster.create ~n:nodes () in
+  let eps = Array.init nodes (fun i -> Cluster.emp c i) in
+  let sim = Cluster.sim c in
+  let start = Array.make nodes max_int in
+  let finish = Array.make nodes 0 in
+  for r = 0 to nodes - 1 do
+    Sim.spawn sim
+      ~name:(Printf.sprintf "rank%d" r)
+      (fun () ->
+        let g = Uls_collective.Emp_group.create eps ~rank:r in
+        f g ~rank:r;
+        start.(r) <- Sim.now sim;
+        for _ = 1 to iters do
+          f g ~rank:r
+        done;
+        finish.(r) <- Sim.now sim)
+  done;
+  (match Cluster.run c with
+  | `Quiescent -> ()
+  | _ -> failwith "collective benchmark: cluster did not quiesce");
+  Array.fold_left max 0 finish - Array.fold_left min max_int start
+
+let barrier_latency ?(iters = 10) ~alg ~nodes () =
+  let span = coll_span ~nodes ~iters (fun g ~rank:_ -> Coll.barrier ~alg g) in
+  float_of_int span /. float_of_int iters /. 1_000.
+
+let coll_bandwidth ?(iters = 5) ~op ~alg ~nodes ~size () =
+  (* float_sum combines 8-byte lanes, so keep allreduce payloads aligned. *)
+  let size =
+    match op with
+    | `Allreduce -> max 8 ((size + 7) / 8 * 8)
+    | `Bcast -> max 1 size
+  in
+  let payload = String.make size '\000' in
+  let f g ~rank =
+    match op with
+    | `Bcast ->
+      ignore (Coll.bcast ~alg g ~root:0 ~max:size (if rank = 0 then payload else ""))
+    | `Allreduce ->
+      ignore (Coll.allreduce ~alg g ~op:Coll.float_sum ~max:size payload)
+  in
+  let span = coll_span ~nodes ~iters f in
+  Time.mbps ~bytes_transferred:(size * iters) ~elapsed:span
+
 let connect_time ~kind () =
   (* Mean time for connect() alone, over a fresh cluster. *)
   let c = Cluster.create ~n:2 () in

@@ -22,3 +22,24 @@ val bandwidth : ?total:int -> kind:stack_kind -> msg:int -> unit -> float
 val connect_time : kind:stack_kind -> unit -> float
 (** Mean time of [connect()] alone, in microseconds (meaningless for
     [Emp_raw], which is connectionless). *)
+
+val barrier_latency :
+  ?iters:int -> alg:Uls_collective.Group.algorithm -> nodes:int -> unit -> float
+(** Mean per-barrier latency in microseconds over an [nodes]-rank EMP
+    group: one warm-up barrier, then [iters] (default 10) timed barriers;
+    the span between the earliest rank start and the latest rank finish
+    is divided by [iters], amortising warm-up exit skew. *)
+
+val coll_bandwidth :
+  ?iters:int ->
+  op:[ `Bcast | `Allreduce ] ->
+  alg:Uls_collective.Group.algorithm ->
+  nodes:int ->
+  size:int ->
+  unit ->
+  float
+(** Effective collective bandwidth in megabits per second: [iters]
+    (default 5) [size]-byte broadcasts or allreduces over an
+    [nodes]-rank EMP group after one warm-up, measured as root payload
+    bytes over the batch span. Allreduce sizes round up to a multiple
+    of 8 for {!Uls_collective.Group.float_sum}. *)

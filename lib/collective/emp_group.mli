@@ -1,0 +1,24 @@
+(** A {!Group} over an array of EMP endpoints, one per rank.
+
+    Every rank calls {!create} with the {e same} endpoint array (rank
+    [i]'s endpoint at index [i]) and its own [rank]. Message staging uses
+    a pool of prepinned power-of-two regions, so steady-state collectives
+    pay no pin system calls; the endpoint's unexpected queue is
+    provisioned to absorb cross-rank races at operation entry.
+
+    With [~nic:true] (the default) the group registers the collective
+    frame classifier on this rank's NIC and offers NIC-offloaded barrier
+    and broadcast ({!Group.algorithm.Nic_forward}): the host posts
+    forward-on-match descriptors, rings one doorbell, and sleeps until
+    the NIC DMAs the completion up. *)
+
+val create :
+  ?uq_slots:int ->
+  ?uq_size:int ->
+  ?nic:bool ->
+  Uls_emp.Endpoint.t array ->
+  rank:int ->
+  Group.t
+(** [uq_slots]/[uq_size] (default 16 x 4096 B) provision this rank's
+    unexpected queue. [nic:false] builds a host-only group (Nic_forward
+    then falls back to the binomial tree). *)

@@ -1,0 +1,128 @@
+open Uls_engine
+open Uls_api
+
+type peer = {
+  stream : Sockets_api.stream;
+  mutable rbuf : string;  (* bytes read but not yet parsed into messages *)
+  mutable stash : (int * string) list;  (* arrived but unclaimed (tag, body) *)
+  mutable reading : bool;  (* a pump fiber currently owns the stream *)
+  cond : Cond.t;
+}
+
+(* Read one framed message. Each [recv] asks for a whole message's worth
+   of bytes: under the rendezvous scheme a read consumes (and truncates
+   to the request) exactly one writer message, so asking for less than
+   [header + max] would silently drop the tail. Eager byte streams may
+   split or merge writes instead; the reassembly buffer covers that. *)
+let read_message p ~cap =
+  let fill k =
+    while String.length p.rbuf < k do
+      let chunk = p.stream.Sockets_api.recv cap in
+      if chunk = "" then
+        failwith "Sockets_group: stream closed mid-collective";
+      p.rbuf <- p.rbuf ^ chunk
+    done
+  in
+  fill Coll_wire.header_bytes;
+  let tg, len = Coll_wire.decode_header p.rbuf in
+  fill (Coll_wire.header_bytes + len);
+  let body = String.sub p.rbuf Coll_wire.header_bytes len in
+  let consumed = Coll_wire.header_bytes + len in
+  p.rbuf <- String.sub p.rbuf consumed (String.length p.rbuf - consumed);
+  (tg, body)
+
+(* Fully connected mesh: rank r listens on base_port + r, actively
+   connects to every lower rank, and accepts from every higher rank. An
+   accepted connection is identified by a 16-byte rank handshake. *)
+let connect_mesh sim stack ~nodes ~rank ~base_port =
+  let size = Array.length nodes in
+  if rank < 0 || rank >= size then invalid_arg "Sockets_group.connect_mesh";
+  let peers = Array.make size None in
+  let mk stream =
+    { stream; rbuf = ""; stash = []; reading = false; cond = Cond.create sim }
+  in
+  if size > 1 then begin
+    let listener =
+      stack.Sockets_api.listen ~node:nodes.(rank) ~port:(base_port + rank)
+        ~backlog:size
+    in
+    for i = 0 to rank - 1 do
+      (* The lower rank may not have reached its listen yet. *)
+      let rec attempt tries =
+        try
+          stack.Sockets_api.connect ~node:nodes.(rank)
+            { Sockets_api.node = nodes.(i); port = base_port + i }
+        with Sockets_api.Connection_refused _ when tries < 200 ->
+          Sim.delay sim 50_000;
+          attempt (tries + 1)
+      in
+      let s = attempt 0 in
+      s.Sockets_api.send (Coll_wire.encode_header ~tag:rank ~len:0);
+      peers.(i) <- Some (mk s)
+    done;
+    for _ = rank + 1 to size - 1 do
+      let s, _ = listener.Sockets_api.accept () in
+      let r, _ =
+        Coll_wire.decode_header (Sockets_api.recv_exact s Coll_wire.header_bytes)
+      in
+      if r < 0 || r >= size || peers.(r) <> None then
+        failwith "Sockets_group: bad mesh handshake";
+      peers.(r) <- Some (mk s)
+    done;
+    listener.Sockets_api.close_listener ()
+  end;
+  let get i =
+    match peers.(i) with
+    | Some p -> p
+    | None -> invalid_arg "Sockets_group: no such peer"
+  in
+  let send ~dst ~tag data =
+    (get dst).stream.Sockets_api.send
+      (Coll_wire.encode_header ~tag ~len:(String.length data) ^ data)
+  in
+  let irecv ~src ~tag ~max =
+    let p = get src in
+    let cap = Coll_wire.header_bytes + max in
+    let result = ref None in
+    let claim () =
+      let rec pick acc = function
+        | [] -> None
+        | (t, body) :: rest when t = tag ->
+          p.stash <- List.rev_append acc rest;
+          Some body
+        | e :: rest -> pick (e :: acc) rest
+      in
+      pick [] p.stash
+    in
+    (* The receive must make progress from the moment it is posted: under
+       the rendezvous substrate scheme a blocked writer only unblocks when
+       the reader actually reads, so symmetric exchanges deadlock if both
+       sides defer reading until they wait. One pump fiber at a time owns
+       the stream; messages for other tags are stashed for their posters. *)
+    let rec pump () =
+      if !result = None then begin
+        match claim () with
+        | Some body ->
+          result := Some body;
+          Cond.broadcast p.cond
+        | None ->
+          if p.reading then begin
+            Cond.wait p.cond;
+            pump ()
+          end
+          else begin
+            p.reading <- true;
+            let tg, body = read_message p ~cap in
+            p.reading <- false;
+            p.stash <- p.stash @ [ (tg, body) ];
+            Cond.broadcast p.cond;
+            pump ()
+          end
+      end
+    in
+    Sim.spawn sim ~name:(Printf.sprintf "coll-rx-%d<%d" rank src) pump;
+    fun () ->
+      Cond.wait_until p.cond (fun () -> !result <> None);
+      Option.get !result
+  in
+  Group.create { Group.rank; size; send; irecv }

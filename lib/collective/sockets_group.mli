@@ -1,0 +1,19 @@
+(** A {!Group} over any {!Uls_api.Sockets_api.stack} (kernel TCP or the
+    user-level substrate, in any of its option configurations).
+
+    Each rank's fiber calls {!connect_mesh} with the same [nodes] array
+    (node id of rank [i] at index [i]) and ports [base_port ..
+    base_port + size - 1]; the call blocks until the full mesh of
+    streams is established. Messages are framed with a 16-byte
+    [(tag, length)] header; receives are pumped by per-post reader
+    fibers so a posted receive drains the stream even while the posting
+    fiber is blocked elsewhere (required under the rendezvous scheme,
+    where a writer cannot complete until the reader reads). *)
+
+val connect_mesh :
+  Uls_engine.Sim.t ->
+  Uls_api.Sockets_api.stack ->
+  nodes:int array ->
+  rank:int ->
+  base_port:int ->
+  Group.t

@@ -110,6 +110,7 @@ type t = {
 exception Send_failed of { dst : int; tag : int; retries : int }
 
 let node t = t.node
+let nic t = t.nic
 let node_id t = Node.id t.node
 let sim t = Node.sim t.node
 let config t = t.cfg

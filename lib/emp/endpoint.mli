@@ -26,6 +26,7 @@ val default_config : config
 
 val create : ?config:config -> Uls_host.Node.t -> Uls_nic.Tigon.t -> t
 val node : t -> Uls_host.Node.t
+val nic : t -> Uls_nic.Tigon.t
 val node_id : t -> int
 val sim : t -> Uls_engine.Sim.t
 val config : t -> config

@@ -19,6 +19,10 @@ type t = {
   nic_rx_per_frame : Uls_engine.Time.ns;
   nic_tag_match_per_desc : Uls_engine.Time.ns;
   nic_ack_gen : Uls_engine.Time.ns;
+  nic_coll_forward : Uls_engine.Time.ns;
+      (** per-frame firmware cost to re-emit a matched collective frame
+          (forward-on-match: the descriptor is prebuilt, so this is
+          cheaper than a full host-initiated transmit) *)
   dma_setup : Uls_engine.Time.ns;
   dma_ns_per_byte : float;
   tcp_tx_per_segment : Uls_engine.Time.ns;
@@ -52,6 +56,7 @@ let paper_testbed =
     nic_rx_per_frame = 2_000;
     nic_tag_match_per_desc = 550;
     nic_ack_gen = 1_500;
+    nic_coll_forward = 1_200;
     dma_setup = 1_800;
     dma_ns_per_byte = 1.9;
     tcp_tx_per_segment = 10_000;

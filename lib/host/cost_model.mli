@@ -30,6 +30,10 @@ type t = {
   nic_rx_per_frame : Uls_engine.Time.ns;
   nic_tag_match_per_desc : Uls_engine.Time.ns;  (** 550 ns: paper §6.3 *)
   nic_ack_gen : Uls_engine.Time.ns;
+  nic_coll_forward : Uls_engine.Time.ns;
+      (** per-frame firmware cost to re-emit a matched collective frame
+          (forward-on-match descriptors are prebuilt, so this is cheaper
+          than the host-initiated transmit path) *)
   dma_setup : Uls_engine.Time.ns;
   dma_ns_per_byte : float;  (** PCI 64/66: ~528 MB/s *)
   (* Kernel TCP/IP stack + Acenic-style driver *)

@@ -48,6 +48,36 @@ let take t ~src ~tag =
   in
   walk 0 0
 
+let find t ~src ~tag =
+  let n = Vec.length t.entries in
+  let rec walk i walked =
+    if i >= n then None
+    else begin
+      let e = Vec.get t.entries i in
+      if e.removed then walk (i + 1) walked
+      else if matches e ~src ~tag then Some (e.value, walked + 1)
+      else walk (i + 1) (walked + 1)
+    end
+  in
+  walk 0 0
+
+let remove_first t pred =
+  let n = Vec.length t.entries in
+  let rec walk i =
+    if i >= n then None
+    else begin
+      let e = Vec.get t.entries i in
+      if (not e.removed) && pred e.value then begin
+        e.removed <- true;
+        t.live <- t.live - 1;
+        compact t;
+        Some e.value
+      end
+      else walk (i + 1)
+    end
+  in
+  walk 0
+
 let unpost_all t =
   let vs =
     Vec.fold (fun acc e -> if e.removed then acc else e.value :: acc) [] t.entries

@@ -18,6 +18,16 @@ val take : 'a t -> src:int -> tag:int -> ('a * int) option
     walked (matched one included). [None] means no match — the walk then
     covered the whole list. *)
 
+val find : 'a t -> src:int -> tag:int -> ('a * int) option
+(** Like {!take} but without removing the matched descriptor — used by
+    forward-on-match descriptors that persist across several frames
+    (collective combine descriptors count arrivals down to zero before
+    being unposted with {!remove_first}). *)
+
+val remove_first : 'a t -> ('a -> bool) -> 'a option
+(** Remove and return the first live descriptor satisfying the
+    predicate, preserving the order of the others. *)
+
 val unpost_all : 'a t -> 'a list
 (** Remove every descriptor (socket close / EMP state reset). *)
 

@@ -1,6 +1,20 @@
 open Uls_engine
 open Uls_host
 
+type fwd = {
+  fwd_src : int;
+  fwd_tag : int;
+  mutable fwd_need : int;
+  fwd_emit : Uls_ether.Frame.t option -> Uls_ether.Frame.t list;
+  fwd_deliver : (Uls_ether.Frame.t option -> unit) option;
+}
+
+type fwd_event =
+  | Fwd_post of fwd
+  | Fwd_arrive of int * int * Uls_ether.Frame.t option
+      (** [(src, tag, frame)]; [frame = None] is a host doorbell
+          ({!coll_signal}) counting as a local arrival. *)
+
 type t = {
   node_id : int;
   sim : Sim.t;
@@ -11,7 +25,112 @@ type t = {
   dma_engine : Resource.t;
   mutable firmware_rx : Uls_ether.Frame.t -> unit;
   mutable rx_frames : int;
+  (* Forward-on-match engine (NIC-assisted collectives): descriptors the
+     host posts so the firmware can combine and propagate collective
+     frames down a tree without host involvement. *)
+  mutable coll_classify : Uls_ether.Frame.t -> (int * int) option;
+  fwd_list : fwd Match_list.t;
+  fwd_pending : (int * int * Uls_ether.Frame.t option) Vec.t;
+  fwd_queue : fwd_event Mailbox.t;
+  mutable coll_matched : int;
+  mutable coll_forwarded : int;
+  mutable coll_delivered : int;
 }
+
+(* Collective frames that arrive before the host posted the matching
+   forward descriptor wait in NIC memory; the firmware bounds the queue
+   by dropping the oldest entry (recovered, if at all, by higher-level
+   retry — the collective protocols post before signalling precisely so
+   this stays a cold path). *)
+let fwd_pending_limit = 128
+
+let fwd_complete t fwd completing =
+  (match Match_list.remove_first t.fwd_list (fun f -> f == fwd) with
+  | Some _ -> ()
+  | None -> ());
+  let frames = fwd.fwd_emit completing in
+  List.iter
+    (fun frame ->
+      Resource.use t.tx_cpu t.model.Cost_model.nic_coll_forward;
+      t.coll_forwarded <- t.coll_forwarded + 1;
+      Uls_ether.Network.send t.net frame)
+    frames;
+  match fwd.fwd_deliver with
+  | None -> ()
+  | Some deliver ->
+    (* Completion (and any payload) is DMA'd up to the host. *)
+    let bytes =
+      match completing with
+      | Some f -> Stdlib.max 8 f.Uls_ether.Frame.payload_len
+      | None -> 8
+    in
+    Resource.use t.dma_engine (Cost_model.dma_cost t.model bytes);
+    t.coll_delivered <- t.coll_delivered + 1;
+    deliver completing
+
+let fwd_match t ~src ~tag frame =
+  match Match_list.find t.fwd_list ~src ~tag with
+  | None ->
+    if Vec.length t.fwd_pending >= fwd_pending_limit then begin
+      (* Shift out the oldest entry. *)
+      let keep = ref [] in
+      Vec.iter (fun e -> keep := e :: !keep) t.fwd_pending;
+      Vec.clear t.fwd_pending;
+      List.iter (Vec.push t.fwd_pending) (List.tl (List.rev !keep))
+    end;
+    Vec.push t.fwd_pending (src, tag, frame)
+  | Some (fwd, walked) ->
+    Resource.use t.rx_cpu (walked * t.model.Cost_model.nic_tag_match_per_desc);
+    t.coll_matched <- t.coll_matched + 1;
+    fwd.fwd_need <- fwd.fwd_need - 1;
+    if fwd.fwd_need <= 0 then fwd_complete t fwd frame
+
+let fwd_fiber t () =
+  let m = t.model in
+  let rec loop () =
+    (match Mailbox.recv t.fwd_queue with
+    | Fwd_arrive (src, tag, frame) ->
+      (match frame with
+      | Some _ -> Resource.use t.rx_cpu m.Cost_model.nic_rx_classify
+      | None ->
+        (* Host doorbell: the firmware fetches the mailbox word. *)
+        Resource.use t.rx_cpu m.Cost_model.nic_mailbox_fetch);
+      fwd_match t ~src ~tag frame
+    | Fwd_post fwd ->
+      Resource.use t.rx_cpu m.Cost_model.nic_mailbox_fetch;
+      Match_list.post t.fwd_list ~src:fwd.fwd_src ~tag:fwd.fwd_tag fwd;
+      (* Drain collective frames that raced ahead of the descriptor. *)
+      let rec drain () =
+        if fwd.fwd_need > 0 then begin
+          let matched = ref None in
+          let i = ref 0 in
+          while !matched = None && !i < Vec.length t.fwd_pending do
+            let (src, tag, _) as e = Vec.get t.fwd_pending !i in
+            if
+              (fwd.fwd_src = -1 || fwd.fwd_src = src)
+              && (fwd.fwd_tag = -1 || fwd.fwd_tag = tag)
+            then matched := Some (!i, e)
+            else incr i
+          done;
+          match !matched with
+          | None -> ()
+          | Some (idx, (src, tag, frame)) ->
+            (* Preserve arrival order of the remaining entries. *)
+            let keep = ref [] in
+            Vec.iter (fun e -> keep := e :: !keep) t.fwd_pending;
+            Vec.clear t.fwd_pending;
+            List.iteri
+              (fun j e -> if j <> idx then Vec.push t.fwd_pending e)
+              (List.rev !keep);
+            Resource.use t.rx_cpu m.Cost_model.nic_rx_classify;
+            fwd_match t ~src ~tag frame;
+            drain ()
+        end
+      in
+      drain ());
+    loop ()
+  in
+  loop ()
 
 let create sim model net ~node =
   let name part = Printf.sprintf "nic%d-%s" node part in
@@ -26,11 +145,21 @@ let create sim model net ~node =
       dma_engine = Resource.create sim ~name:(name "dma");
       firmware_rx = (fun _ -> ());
       rx_frames = 0;
+      coll_classify = (fun _ -> None);
+      fwd_list = Match_list.create ();
+      fwd_pending = Vec.create ();
+      fwd_queue = Mailbox.create sim;
+      coll_matched = 0;
+      coll_forwarded = 0;
+      coll_delivered = 0;
     }
   in
   Uls_ether.Network.attach net ~station:node (fun frame ->
       t.rx_frames <- t.rx_frames + 1;
-      t.firmware_rx frame);
+      match t.coll_classify frame with
+      | Some (src, tag) -> Mailbox.send t.fwd_queue (Fwd_arrive (src, tag, Some frame))
+      | None -> t.firmware_rx frame);
+  Sim.spawn sim ~name:(name "fwd") (fwd_fiber t);
   t
 
 let node_id t = t.node_id
@@ -61,3 +190,40 @@ let tx_cpu t = t.tx_cpu
 let rx_cpu t = t.rx_cpu
 let dma_engine t = t.dma_engine
 let frames_received t = t.rx_frames
+
+(* --- forward-on-match host interface --------------------------------- *)
+
+let set_coll_classifier t f = t.coll_classify <- f
+
+let post_forward t ~src ~tag ~need ?deliver ~emit () =
+  if need <= 0 then invalid_arg "Tigon.post_forward: need must be positive";
+  (* Host side: build the descriptor and ring the doorbell (a PIO write);
+     the firmware picks it up from the mailbox in its own time. *)
+  Sim.delay t.sim t.model.Cost_model.pio_write;
+  Mailbox.send t.fwd_queue
+    (Fwd_post { fwd_src = src; fwd_tag = tag; fwd_need = need;
+                fwd_emit = emit; fwd_deliver = deliver })
+
+let coll_signal t ~tag =
+  (* Host-side arrival (e.g. "this process entered the barrier"): one PIO
+     write; counts as a match of the local combine descriptor. *)
+  Sim.delay t.sim t.model.Cost_model.pio_write;
+  Mailbox.send t.fwd_queue (Fwd_arrive (t.node_id, tag, None))
+
+let coll_inject t frame =
+  (* Root of a NIC-forwarded broadcast: hand a collective frame to the
+     firmware for transmission (descriptor write + payload DMA), without
+     blocking the caller on the NIC's transmit serialization. *)
+  Sim.delay t.sim t.model.Cost_model.pio_write;
+  Sim.spawn t.sim ~name:"nic-coll-inject" (fun () ->
+      Resource.use t.tx_cpu t.model.Cost_model.nic_mailbox_fetch;
+      Resource.use t.dma_engine
+        (Cost_model.dma_cost t.model frame.Uls_ether.Frame.payload_len);
+      Resource.use t.tx_cpu t.model.Cost_model.nic_tx_per_frame;
+      t.coll_forwarded <- t.coll_forwarded + 1;
+      Uls_ether.Network.send t.net frame)
+
+let coll_matched t = t.coll_matched
+let coll_forwarded t = t.coll_forwarded
+let coll_delivered t = t.coll_delivered
+let forward_descriptors t = Match_list.length t.fwd_list

@@ -37,3 +37,55 @@ val tx_cpu : t -> Uls_engine.Resource.t
 val rx_cpu : t -> Uls_engine.Resource.t
 val dma_engine : t -> Uls_engine.Resource.t
 val frames_received : t -> int
+
+(** {1 Forward-on-match (NIC-assisted collectives)}
+
+    The NIC-based collective message-passing protocol of Yu et al.
+    (Quadrics/Myrinet): the host posts {e forward descriptors} that the
+    firmware matches against incoming collective frames. A descriptor
+    counts [need] arrivals (frames from children plus, via
+    {!coll_signal}, the local process's own arrival); on the last one
+    the firmware emits follow-on frames (to the parent, or down to the
+    children) and optionally DMAs a completion up to the host — all in
+    NIC context, never waking the host mid-tree. *)
+
+val set_coll_classifier : t -> (Uls_ether.Frame.t -> (int * int) option) -> unit
+(** Install the firmware-side classifier: [Some (src, tag)] routes the
+    frame to the forward-on-match engine instead of {!set_firmware_rx}'s
+    handler. The collective library supplies this since the frame payload
+    type is its own extension. *)
+
+val post_forward :
+  t ->
+  src:int ->
+  tag:int ->
+  need:int ->
+  ?deliver:(Uls_ether.Frame.t option -> unit) ->
+  emit:(Uls_ether.Frame.t option -> Uls_ether.Frame.t list) ->
+  unit ->
+  unit
+(** Post a forward descriptor ([src = -1] is a wildcard). After [need]
+    matching arrivals the firmware unposts it, transmits [emit frame]
+    (called with the completing frame, [None] if it was a host signal)
+    and, if [deliver] is given, DMAs the completion to the host and
+    calls it (plain event context). Caller must be a fiber (one PIO
+    write is charged). Frames arriving before the descriptor wait in a
+    bounded NIC-side pending queue. *)
+
+val coll_signal : t -> tag:int -> unit
+(** Host doorbell counting as a local arrival for the matching forward
+    descriptor (source = own node). Caller must be a fiber. *)
+
+val coll_inject : t -> Uls_ether.Frame.t -> unit
+(** Hand one collective frame to the firmware for transmission (root of
+    a NIC-forwarded broadcast). Charges the PIO write to the caller and
+    the descriptor fetch / payload DMA / transmit to the NIC
+    asynchronously. Caller must be a fiber. *)
+
+val coll_matched : t -> int
+val coll_forwarded : t -> int
+(** Frames transmitted by the forward engine ({!post_forward} emissions
+    plus {!coll_inject}). *)
+
+val coll_delivered : t -> int
+val forward_descriptors : t -> int

@@ -3,6 +3,13 @@
 
 let int_bytes = 8
 
+exception Protocol_error of string
+(** A peer sent a control message the substrate cannot decode (wrong
+    size or shape). Raised instead of asserting so the failure names the
+    connection and message kind. *)
+
+let protocol_error fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
 let encode ints =
   let b = Bytes.create (int_bytes * List.length ints) in
   List.iteri (fun i v -> Bytes.set_int64_le b (i * int_bytes) (Int64.of_int v)) ints;

@@ -160,6 +160,10 @@ let rx_fiber t () =
     let len, _, _ = E.wait_recv t.env.emp recv in
     if len >= 0 && not t.closed then begin
       slot.sl_current <- None;
+      if len < Options.header_bytes then
+        Codec.protocol_error
+          "conn %d: data message from node %d too short for its header (%d B < %d B)"
+          t.id t.peer_node len Options.header_bytes;
       match Codec.decode_region slot.sl_region ~off:0 ~count:2 with
       | [ seq; piggy ] ->
         add_credits t piggy;
@@ -178,7 +182,9 @@ let rx_fiber t () =
         Cond.broadcast t.readable_c;
         t.env.notify ();
         loop ()
-      | _ -> assert false
+      | _ ->
+        Codec.protocol_error "conn %d: undecodable data header from node %d"
+          t.id t.peer_node
     end
   in
   loop ()
@@ -190,9 +196,15 @@ let ack_fiber t slot () =
     | Some recv ->
       let len, _, _ = E.wait_recv t.env.emp recv in
       if len >= 0 && not t.closed then begin
+        if len < Codec.int_bytes then
+          Codec.protocol_error
+            "conn %d: credit ack from node %d too short (%d B < %d B)" t.id
+            t.peer_node len Codec.int_bytes;
         (match Codec.decode_region slot.sl_region ~off:0 ~count:1 with
         | [ count ] -> add_credits t count
-        | _ -> assert false);
+        | _ ->
+          Codec.protocol_error "conn %d: undecodable credit ack from node %d"
+            t.id t.peer_node);
         ignore (post_slot t slot ~tag:(Tags.make Tags.Credit_ack t.id));
         loop ()
       end
@@ -212,9 +224,16 @@ let uq_ack_fiber t () =
       let r = E.post_recv t.env.emp ~src:t.peer_node ~tag region ~off:0 ~len:16 in
       let len, _, _ = E.wait_recv t.env.emp r in
       if len >= 0 then begin
+        if len < Codec.int_bytes then
+          Codec.protocol_error
+            "conn %d: unexpected-queue credit ack from node %d too short (%d B)"
+            t.id t.peer_node len;
         (match Codec.decode_region region ~off:0 ~count:1 with
         | [ count ] -> add_credits t count
-        | _ -> assert false);
+        | _ ->
+          Codec.protocol_error
+            "conn %d: undecodable unexpected-queue credit ack from node %d"
+            t.id t.peer_node);
         loop ()
       end
     end
@@ -234,13 +253,20 @@ let req_fiber t () =
     | Some recv ->
       let len, _, _ = E.wait_recv t.env.emp recv in
       if len >= 0 && not t.closed then begin
+        if len < 3 * Codec.int_bytes then
+          Codec.protocol_error
+            "conn %d: rendezvous request from node %d too short (%d B < %d B)"
+            t.id t.peer_node len (3 * Codec.int_bytes);
         (match Codec.decode_region t.req_slot.sl_region ~off:0 ~count:3 with
         | [ seq; rid; size ] ->
           ignore (post_slot t t.req_slot ~tag:(Tags.make Tags.Rdvz_request t.id));
           Queue.push { rq_seq = seq; rq_id = rid; rq_size = size } t.req_q;
           Cond.broadcast t.readable_c;
           t.env.notify ()
-        | _ -> assert false);
+        | _ ->
+          Codec.protocol_error
+            "conn %d: undecodable rendezvous request from node %d" t.id
+            t.peer_node);
         loop ()
       end
   in
@@ -253,11 +279,18 @@ let grant_fiber t () =
     | Some recv ->
       let len, _, _ = E.wait_recv t.env.emp recv in
       if len >= 0 && not t.closed then begin
+        if len < Codec.int_bytes then
+          Codec.protocol_error
+            "conn %d: rendezvous grant from node %d too short (%d B)" t.id
+            t.peer_node len;
         (match Codec.decode_region t.grant_slot.sl_region ~off:0 ~count:1 with
         | [ rid ] ->
           ignore (post_slot t t.grant_slot ~tag:(Tags.make Tags.Rdvz_grant t.id));
           Mailbox.send t.grant_q rid
-        | _ -> assert false);
+        | _ ->
+          Codec.protocol_error
+            "conn %d: undecodable rendezvous grant from node %d" t.id
+            t.peer_node);
         loop ()
       end
   in

@@ -83,6 +83,10 @@ let listener_fiber t l () =
     let slot, recv = Mailbox.recv l.l_handles in
     let len, _, _ = E.wait_recv t.emp recv in
     if len >= 0 && not l.l_closed then begin
+      if len < 3 * Codec.int_bytes then
+        Codec.protocol_error
+          "listener port %d: connection request too short (%d B < %d B)"
+          l.l_port len (3 * Codec.int_bytes);
       (match Codec.decode_region slot.Conn.sl_region ~off:0 ~count:3 with
       | [ rq_node; rq_conn; rq_port ] ->
         (* Repost the backlog descriptor, then queue the request. *)
@@ -96,7 +100,9 @@ let listener_fiber t l () =
         Mailbox.send l.l_handles (slot, r);
         Mailbox.send l.l_requests { rq_node; rq_conn; rq_port };
         Cond.broadcast t.activity
-      | _ -> assert false);
+      | _ ->
+        Codec.protocol_error
+          "listener port %d: undecodable connection request" l.l_port);
       loop ()
     end
   in
@@ -202,7 +208,9 @@ let connect t (server : Uls_api.Sockets_api.addr) =
     | [ server_conn ] ->
       Conn.set_peer conn ~conn:server_conn ~addr:server;
       conn
-    | _ -> assert false)
+    | _ ->
+      Codec.protocol_error "connect to node %d port %d: undecodable accept reply"
+        server.Uls_api.Sockets_api.node server.Uls_api.Sockets_api.port)
   | _ ->
     ignore (E.unpost_recv t.emp reply);
     Conn.close conn;

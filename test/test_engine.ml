@@ -306,6 +306,31 @@ let test_summary_stddev () =
   List.iter (Stats.Summary.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
   Alcotest.(check (float 1e-6)) "sample stddev" 2.13809 (Stats.Summary.stddev s)
 
+let test_percentile_edges () =
+  let s = Stats.Summary.create () in
+  Alcotest.(check (float 0.)) "empty summary" 0. (Stats.Summary.percentile s 0.5);
+  Stats.Summary.add s 42.;
+  Alcotest.(check (float 0.)) "single sample p=0" 42. (Stats.Summary.percentile s 0.0);
+  Alcotest.(check (float 0.)) "single sample p=1" 42. (Stats.Summary.percentile s 1.0);
+  List.iter (Stats.Summary.add s) [ 7.; 99.; 13. ];
+  Alcotest.(check (float 0.)) "p=0 is min" 7. (Stats.Summary.percentile s 0.0);
+  Alcotest.(check (float 0.)) "p=1 is max" 99. (Stats.Summary.percentile s 1.0);
+  (* adds after a percentile query must invalidate the sorted order *)
+  Stats.Summary.add s 1.;
+  Alcotest.(check (float 0.)) "re-sorts after add" 1. (Stats.Summary.percentile s 0.0);
+  Stats.Summary.clear s;
+  Alcotest.(check (float 0.)) "cleared summary" 0. (Stats.Summary.percentile s 1.0)
+
+let test_counter_reset () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 9;
+  check_int "accumulated" 10 (Stats.Counter.value c);
+  Stats.Counter.reset c;
+  check_int "reset" 0 (Stats.Counter.value c);
+  Stats.Counter.incr c;
+  check_int "counts again after reset" 1 (Stats.Counter.value c)
+
 let prop_percentile_bounded =
   QCheck.Test.make ~name:"percentile lies within samples" ~count:200
     QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
@@ -379,6 +404,8 @@ let suites =
     ( "engine.stats",
       Alcotest.test_case "summary basics" `Quick test_summary_basics
       :: Alcotest.test_case "stddev" `Quick test_summary_stddev
+      :: Alcotest.test_case "percentile edge cases" `Quick test_percentile_edges
+      :: Alcotest.test_case "counter reset" `Quick test_counter_reset
       :: qsuite [ prop_percentile_bounded ] );
     ( "engine.time",
       [
