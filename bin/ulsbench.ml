@@ -64,6 +64,12 @@ let figures_cmd =
 
 (* --- one-off latency/bandwidth ----------------------------------------- *)
 
+let metrics_flag =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Dump the per-node metrics registry after the run.")
+
+let dump_metrics m = Uls_engine.Metrics.dump m Format.std_formatter
+
 let latency_cmd =
   let stack =
     Arg.(value & opt stack_conv `Ds & info [ "stack" ] ~docv:"STACK"
@@ -73,15 +79,24 @@ let latency_cmd =
     Arg.(value & opt int 4 & info [ "size" ] ~docv:"BYTES" ~doc:"Message size.")
   in
   let iters = Arg.(value & opt int 30 & info [ "iters" ] ~doc:"Iterations.") in
-  let run stack size iters =
-    let us =
-      Uls_bench.Microbench.ping_pong ~iters ~kind:(kind_of_stack stack) ~size ()
-    in
-    Printf.printf "%d-byte one-way latency: %.2f us\n" size us
+  let run stack size iters metrics =
+    if metrics then begin
+      let us, _, m =
+        Uls_bench.Microbench.ping_pong_observed ~iters
+          ~kind:(kind_of_stack stack) ~size ()
+      in
+      Printf.printf "%d-byte one-way latency: %.2f us\n" size us;
+      dump_metrics m
+    end
+    else
+      let us =
+        Uls_bench.Microbench.ping_pong ~iters ~kind:(kind_of_stack stack) ~size ()
+      in
+      Printf.printf "%d-byte one-way latency: %.2f us\n" size us
   in
   Cmd.v
     (Cmd.info "latency" ~doc:"Ping-pong one-way latency on a 2-node cluster")
-    Term.(const run $ stack $ size $ iters)
+    Term.(const run $ stack $ size $ iters $ metrics_flag)
 
 let bandwidth_cmd =
   let stack =
@@ -95,15 +110,102 @@ let bandwidth_cmd =
     Arg.(value & opt int (16 * 1024 * 1024) & info [ "total" ] ~docv:"BYTES"
            ~doc:"Total bytes to stream.")
   in
-  let run stack msg total =
-    let mbps =
-      Uls_bench.Microbench.bandwidth ~total ~kind:(kind_of_stack stack) ~msg ()
-    in
-    Printf.printf "stream bandwidth (%d-byte messages): %.1f Mb/s\n" msg mbps
+  let run stack msg total metrics =
+    if metrics then begin
+      let mbps, _, m =
+        Uls_bench.Microbench.bandwidth_observed ~total
+          ~kind:(kind_of_stack stack) ~msg ()
+      in
+      Printf.printf "stream bandwidth (%d-byte messages): %.1f Mb/s\n" msg mbps;
+      dump_metrics m
+    end
+    else
+      let mbps =
+        Uls_bench.Microbench.bandwidth ~total ~kind:(kind_of_stack stack) ~msg ()
+      in
+      Printf.printf "stream bandwidth (%d-byte messages): %.1f Mb/s\n" msg mbps
   in
   Cmd.v
     (Cmd.info "bandwidth" ~doc:"Unidirectional stream bandwidth")
-    Term.(const run $ stack $ msg $ total)
+    Term.(const run $ stack $ msg $ total $ metrics_flag)
+
+(* --- trace -------------------------------------------------------------- *)
+
+let trace_cmd =
+  let experiment =
+    Arg.(value & pos 0 string "pingpong" & info [] ~docv:"EXPERIMENT"
+           ~doc:"pingpong | bandwidth | barrier")
+  in
+  let stack =
+    Arg.(value & opt stack_conv `Ds & info [ "stack" ] ~docv:"STACK"
+           ~doc:"emp | tcp | tcp-tuned | ds | ds-base | dg")
+  in
+  let size =
+    Arg.(value & opt int 4 & info [ "size" ] ~docv:"BYTES"
+           ~doc:"Message size (pingpong).")
+  in
+  let msg =
+    Arg.(value & opt int 65_536 & info [ "msg" ] ~docv:"BYTES"
+           ~doc:"Message size (bandwidth).")
+  in
+  let nodes =
+    Arg.(value & opt int 8 & info [ "nodes" ] ~docv:"N"
+           ~doc:"Group size (barrier).")
+  in
+  let iters = Arg.(value & opt int 10 & info [ "iters" ] ~doc:"Iterations.") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Write the Chrome-trace JSON here instead of stdout.")
+  in
+  let run experiment stack size msg nodes iters out metrics =
+    let kind = kind_of_stack stack in
+    let summary, tr, m =
+      match experiment with
+      | "pingpong" ->
+        let us, tr, m =
+          Uls_bench.Microbench.ping_pong_observed ~iters ~kind ~size ()
+        in
+        (Printf.sprintf "%d-byte one-way latency: %.2f us" size us, tr, m)
+      | "bandwidth" ->
+        let mbps, tr, m =
+          Uls_bench.Microbench.bandwidth_observed ~total:(4 * 1024 * 1024)
+            ~kind ~msg ()
+        in
+        (Printf.sprintf "stream bandwidth: %.1f Mb/s" mbps, tr, m)
+      | "barrier" ->
+        let us, tr, m =
+          Uls_bench.Microbench.barrier_latency_observed ~iters
+            ~alg:Uls_collective.Group.Binomial_tree ~nodes ()
+        in
+        (Printf.sprintf "%d-node barrier: %.2f us" nodes us, tr, m)
+      | other ->
+        Printf.eprintf "ulsbench trace: unknown experiment %S\n" other;
+        exit 124
+    in
+    let json = Uls_engine.Trace.to_chrome_json tr in
+    (* Keep stdout pure JSON when no --out was given, so the output can
+       be piped straight into a validator or chrome://tracing. *)
+    (match out with
+    | None ->
+      print_string json;
+      Printf.eprintf "%s (%d trace events)\n" summary
+        (List.length (Uls_engine.Trace.events tr))
+    | Some file ->
+      let oc = open_out file in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "%s (%d trace events -> %s)\n" summary
+        (List.length (Uls_engine.Trace.events tr))
+        file);
+    if metrics then dump_metrics m
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a benchmark with structured tracing enabled and emit \
+          Chrome-trace JSON (load in chrome://tracing or Perfetto)")
+    Term.(const run $ experiment $ stack $ size $ msg $ nodes $ iters $ out
+          $ metrics_flag)
 
 (* --- collectives -------------------------------------------------------- *)
 
@@ -153,7 +255,7 @@ let collective_cmd =
            ~doc:"Payload size (bcast/allreduce only).")
   in
   let iters = Arg.(value & opt int 10 & info [ "iters" ] ~doc:"Iterations.") in
-  let run op alg nodes size iters =
+  let run op alg nodes size iters metrics =
     if nodes < 1 then begin
       prerr_endline "ulsbench: --nodes must be at least 1";
       exit 124
@@ -161,24 +263,45 @@ let collective_cmd =
     let alg_name = Uls_collective.Group.algorithm_name alg in
     match op with
     | `Barrier ->
-      let us = Uls_bench.Microbench.barrier_latency ~iters ~alg ~nodes () in
-      Printf.printf "%d-node %s barrier: %.2f us\n" nodes alg_name us
+      if metrics then begin
+        let us, _, m =
+          Uls_bench.Microbench.barrier_latency_observed ~iters ~alg ~nodes ()
+        in
+        Printf.printf "%d-node %s barrier: %.2f us\n" nodes alg_name us;
+        dump_metrics m
+      end
+      else
+        let us = Uls_bench.Microbench.barrier_latency ~iters ~alg ~nodes () in
+        Printf.printf "%d-node %s barrier: %.2f us\n" nodes alg_name us
     | (`Bcast | `Allreduce) as op ->
-      let mbps =
-        Uls_bench.Microbench.coll_bandwidth ~iters ~op ~alg ~nodes ~size ()
+      let op_name =
+        match op with `Bcast -> "bcast" | `Allreduce -> "allreduce"
       in
-      Printf.printf "%d-node %s %s (%d B): %.1f Mb/s\n" nodes alg_name
-        (match op with `Bcast -> "bcast" | `Allreduce -> "allreduce")
-        size mbps
+      if metrics then begin
+        let mbps, _, m =
+          Uls_bench.Microbench.coll_bandwidth_observed ~iters ~op ~alg ~nodes
+            ~size ()
+        in
+        Printf.printf "%d-node %s %s (%d B): %.1f Mb/s\n" nodes alg_name
+          op_name size mbps;
+        dump_metrics m
+      end
+      else
+        let mbps =
+          Uls_bench.Microbench.coll_bandwidth ~iters ~op ~alg ~nodes ~size ()
+        in
+        Printf.printf "%d-node %s %s (%d B): %.1f Mb/s\n" nodes alg_name
+          op_name size mbps
   in
   Cmd.v
     (Cmd.info "collective"
        ~doc:"Collective latency/bandwidth over an EMP group")
-    Term.(const run $ op $ alg $ nodes $ size $ iters)
+    Term.(const run $ op $ alg $ nodes $ size $ iters $ metrics_flag)
 
 let () =
   let doc = "Sockets-over-EMP reproduction benchmarks (simulated testbed)" in
   let info = Cmd.info "ulsbench" ~version:"1.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ figures_cmd; latency_cmd; bandwidth_cmd; collective_cmd ]))
+       (Cmd.group info
+          [ figures_cmd; latency_cmd; bandwidth_cmd; collective_cmd; trace_cmd ]))

@@ -688,6 +688,53 @@ let ablation_ackwindow ?(quick = false) () =
   }
 
 (* ---------------------------------------------------------------------- *)
+(* Per-layer latency breakdown from the structured trace                  *)
+(* ---------------------------------------------------------------------- *)
+
+let breakdown ?(quick = false) () =
+  let iters = if quick then 10 else 30 in
+  let kinds =
+    [
+      ("EMP", Microbench.Emp_raw);
+      ("DS_DA_UQ", Microbench.Sub ds_full);
+      ("TCP", Microbench.Tcp tcp_default);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, kind) ->
+        let lat, tr, _ = Microbench.ping_pong_observed ~iters ~kind ~size:4 () in
+        let totals =
+          Trace.span_totals tr
+          |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a)
+        in
+        List.filteri (fun i _ -> i < 5) totals
+        |> List.mapi (fun i (layer, sname, count, total_ns) ->
+               let total_us = float_of_int total_ns /. 1_000. in
+               [
+                 (if i = 0 then Printf.sprintf "%s (%s us)" name (Table.cell_f2 lat)
+                  else "");
+                 Trace.layer_name layer ^ "/" ^ sname;
+                 Table.cell_i count;
+                 Table.cell_f2 total_us;
+                 Table.cell_f2 (total_us /. float_of_int iters);
+               ]))
+      kinds
+  in
+  {
+    Table.id = "breakdown";
+    title = "Per-layer latency breakdown, 4B ping-pong (top trace spans)";
+    header = [ "stack (one-way us)"; "layer/span"; "count"; "total(us)"; "us/iter" ];
+    rows;
+    notes =
+      [
+        "span totals include time spent blocked inside the span (e.g. a";
+        "sub.read span covers the wait for the reply), so they bound, not";
+        "partition, the round trip; counts cover warmup iterations too";
+      ];
+  }
+
+(* ---------------------------------------------------------------------- *)
 (* Collectives: barrier latency vs node count, bcast/allreduce bandwidth  *)
 (* ---------------------------------------------------------------------- *)
 
@@ -784,6 +831,7 @@ let all ?quick () =
     ablation_ackwindow ?quick ();
     ablation_cpu_util ?quick ();
     ablation_udp ?quick ();
+    breakdown ?quick ();
     coll_barrier ?quick ();
     coll_bw ?quick ();
   ]
@@ -807,6 +855,7 @@ let by_id =
     ("abl-ackwindow", ablation_ackwindow);
     ("abl-cpu", ablation_cpu_util);
     ("abl-udp", ablation_udp);
+    ("breakdown", breakdown);
     ("coll-barrier", coll_barrier);
     ("coll-bw", coll_bw);
   ]

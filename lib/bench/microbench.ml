@@ -16,12 +16,22 @@ let kind_name = function
   | Tcp _ -> "TCP"
   | Sub o -> "sub-" ^ Uls_substrate.Options.mode_name o
 
+(* Benchmarks double as the observability demo: with [observe] set they
+   enable the cluster simulation's shared trace before any traffic and
+   wrap the timed application loops in App-layer spans, so an exported
+   trace shows the full stack from app call down to NIC work. *)
+let observed_trace sim observe =
+  let tr = Trace.for_sim sim in
+  if observe then Trace.enable tr;
+  tr
+
 (* --- raw EMP --------------------------------------------------------- *)
 
-let emp_ping_pong ~size ~iters ~warmup =
+let emp_ping_pong ~observe ~size ~iters ~warmup =
   let c = Cluster.create ~n:2 () in
   let e0 = Cluster.emp c 0 and e1 = Cluster.emp c 1 in
   let sim = Cluster.sim c in
+  let tr = observed_trace sim observe in
   let len = max 1 size in
   let buf0 = Memory.alloc len and buf1 = Memory.alloc len in
   let latency = ref 0. in
@@ -36,20 +46,26 @@ let emp_ping_pong ~size ~iters ~warmup =
       let sum = ref 0 in
       for i = 1 to iters + warmup do
         let t0 = Sim.now sim in
-        let r = Uls_emp.Endpoint.post_recv e0 ~src:1 ~tag:8 buf0 ~off:0 ~len:size in
-        let s = Uls_emp.Endpoint.post_send e0 ~dst:1 ~tag:7 buf0 ~off:0 ~len:size in
-        Uls_emp.Endpoint.wait_send e0 s;
-        ignore (Uls_emp.Endpoint.wait_recv e0 r);
+        Trace.span tr ~layer:Trace.App ~node:0 ~seq:i "app.rtt" (fun () ->
+            let r =
+              Uls_emp.Endpoint.post_recv e0 ~src:1 ~tag:8 buf0 ~off:0 ~len:size
+            in
+            let s =
+              Uls_emp.Endpoint.post_send e0 ~dst:1 ~tag:7 buf0 ~off:0 ~len:size
+            in
+            Uls_emp.Endpoint.wait_send e0 s;
+            ignore (Uls_emp.Endpoint.wait_recv e0 r));
         if i > warmup then sum := !sum + (Sim.now sim - t0)
       done;
       latency := float_of_int !sum /. float_of_int iters /. 2.);
   ignore (Cluster.run c);
-  !latency /. 1_000.
+  (!latency /. 1_000., sim)
 
-let emp_bandwidth ~msg ~total =
+let emp_bandwidth ~observe ~msg ~total =
   let c = Cluster.create ~n:2 () in
   let e0 = Cluster.emp c 0 and e1 = Cluster.emp c 1 in
   let sim = Cluster.sim c in
+  let tr = observed_trace sim observe in
   let count = max 1 (total / msg) in
   let buf0 = Memory.alloc msg and buf1 = Memory.alloc msg in
   let result = ref 0. in
@@ -61,19 +77,22 @@ let emp_bandwidth ~msg ~total =
       List.iter (fun r -> ignore (Uls_emp.Endpoint.wait_recv e1 r)) recvs);
   Sim.spawn sim ~name:"src" (fun () ->
       let t0 = Sim.now sim in
-      let window = 16 in
-      let pending = Queue.create () in
-      for _ = 1 to count do
-        if Queue.length pending >= window then
-          Uls_emp.Endpoint.wait_send e0 (Queue.pop pending);
-        Queue.push
-          (Uls_emp.Endpoint.post_send e0 ~dst:1 ~tag:7 buf0 ~off:0 ~len:msg)
-          pending
-      done;
-      Queue.iter (Uls_emp.Endpoint.wait_send e0) pending;
+      Trace.span tr ~layer:Trace.App ~node:0 "app.stream"
+        ~args:[ ("bytes", string_of_int (msg * count)) ]
+        (fun () ->
+          let window = 16 in
+          let pending = Queue.create () in
+          for _ = 1 to count do
+            if Queue.length pending >= window then
+              Uls_emp.Endpoint.wait_send e0 (Queue.pop pending);
+            Queue.push
+              (Uls_emp.Endpoint.post_send e0 ~dst:1 ~tag:7 buf0 ~off:0 ~len:msg)
+              pending
+          done;
+          Queue.iter (Uls_emp.Endpoint.wait_send e0) pending);
       result := Time.mbps ~bytes_transferred:(msg * count) ~elapsed:(Sim.now sim - t0));
   ignore (Cluster.run c);
-  !result
+  (!result, sim)
 
 (* --- stack-level ------------------------------------------------------ *)
 
@@ -83,10 +102,11 @@ let make_api kind c =
   | Tcp config -> Cluster.tcp_api ~config c
   | Sub opts -> Cluster.substrate_api ~opts c
 
-let api_ping_pong ~kind ~size ~iters ~warmup =
+let api_ping_pong ~observe ~kind ~size ~iters ~warmup =
   let c = Cluster.create ~n:2 () in
   let api = make_api kind c in
   let sim = Cluster.sim c in
+  let tr = observed_trace sim observe in
   let latency = ref 0. in
   Sim.spawn sim ~name:"server" (fun () ->
       let l = api.Uls_api.Sockets_api.listen ~node:1 ~port:99 ~backlog:4 in
@@ -104,19 +124,21 @@ let api_ping_pong ~kind ~size ~iters ~warmup =
       let sum = ref 0 in
       for i = 1 to iters + warmup do
         let t0 = Sim.now sim in
-        s.send payload;
-        ignore (Uls_api.Sockets_api.recv_exact s size);
+        Trace.span tr ~layer:Trace.App ~node:0 ~seq:i "app.rtt" (fun () ->
+            s.send payload;
+            ignore (Uls_api.Sockets_api.recv_exact s size));
         if i > warmup then sum := !sum + (Sim.now sim - t0)
       done;
       latency := float_of_int !sum /. float_of_int iters /. 2.;
       s.close ());
   ignore (Cluster.run c);
-  !latency /. 1_000.
+  (!latency /. 1_000., sim)
 
-let api_bandwidth ~kind ~msg ~total =
+let api_bandwidth ~observe ~kind ~msg ~total =
   let c = Cluster.create ~n:2 () in
   let api = make_api kind c in
   let sim = Cluster.sim c in
+  let tr = observed_trace sim observe in
   let count = max 1 (total / msg) in
   let result = ref 0. in
   Sim.spawn sim ~name:"sink" (fun () ->
@@ -137,26 +159,47 @@ let api_bandwidth ~kind ~msg ~total =
       let s = api.Uls_api.Sockets_api.connect ~node:0 { node = 1; port = 99 } in
       let payload = String.make msg 'y' in
       let t0 = Sim.now sim in
-      for _ = 1 to count do
-        s.send payload
-      done;
-      ignore (s.recv 1);
+      Trace.span tr ~layer:Trace.App ~node:0 "app.stream"
+        ~args:[ ("bytes", string_of_int (msg * count)) ]
+        (fun () ->
+          for _ = 1 to count do
+            s.send payload
+          done;
+          ignore (s.recv 1));
       result := Time.mbps ~bytes_transferred:(msg * count) ~elapsed:(Sim.now sim - t0);
       s.close ());
   ignore (Cluster.run c);
-  !result
+  (!result, sim)
 
 (* --- entry points ----------------------------------------------------- *)
 
-let ping_pong ?(iters = 30) ?(warmup = 5) ~kind ~size () =
+let ping_pong_run ~observe ~iters ~warmup ~kind ~size =
   match kind with
-  | Emp_raw -> emp_ping_pong ~size ~iters ~warmup
-  | Tcp _ | Sub _ -> api_ping_pong ~kind ~size ~iters ~warmup
+  | Emp_raw -> emp_ping_pong ~observe ~size ~iters ~warmup
+  | Tcp _ | Sub _ -> api_ping_pong ~observe ~kind ~size ~iters ~warmup
+
+let bandwidth_run ~observe ~total ~kind ~msg =
+  match kind with
+  | Emp_raw -> emp_bandwidth ~observe ~msg ~total
+  | Tcp _ | Sub _ -> api_bandwidth ~observe ~kind ~msg ~total
+
+let ping_pong ?(iters = 30) ?(warmup = 5) ~kind ~size () =
+  fst (ping_pong_run ~observe:false ~iters ~warmup ~kind ~size)
 
 let bandwidth ?(total = 16 * 1024 * 1024) ~kind ~msg () =
-  match kind with
-  | Emp_raw -> emp_bandwidth ~msg ~total
-  | Tcp _ | Sub _ -> api_bandwidth ~kind ~msg ~total
+  fst (bandwidth_run ~observe:false ~total ~kind ~msg)
+
+let instruments sim = (Trace.for_sim sim, Metrics.for_sim sim)
+
+let ping_pong_observed ?(iters = 30) ?(warmup = 5) ~kind ~size () =
+  let v, sim = ping_pong_run ~observe:true ~iters ~warmup ~kind ~size in
+  let tr, m = instruments sim in
+  (v, tr, m)
+
+let bandwidth_observed ?(total = 16 * 1024 * 1024) ~kind ~msg () =
+  let v, sim = bandwidth_run ~observe:true ~total ~kind ~msg in
+  let tr, m = instruments sim in
+  (v, tr, m)
 
 (* --- collectives ------------------------------------------------------ *)
 
@@ -166,10 +209,11 @@ module Coll = Uls_collective.Group
    A warm-up call absorbs group-formation skew, then [iters] calls are
    timed between per-rank timestamps: (max finish - min start) is the
    wall-clock span of the whole batch. *)
-let coll_span ~nodes ~iters f =
+let coll_span ?(observe = false) ~nodes ~iters f =
   let c = Cluster.create ~n:nodes () in
   let eps = Array.init nodes (fun i -> Cluster.emp c i) in
   let sim = Cluster.sim c in
+  ignore (observed_trace sim observe);
   let start = Array.make nodes max_int in
   let finish = Array.make nodes 0 in
   for r = 0 to nodes - 1 do
@@ -187,13 +231,20 @@ let coll_span ~nodes ~iters f =
   (match Cluster.run c with
   | `Quiescent -> ()
   | _ -> failwith "collective benchmark: cluster did not quiesce");
-  Array.fold_left max 0 finish - Array.fold_left min max_int start
+  (Array.fold_left max 0 finish - Array.fold_left min max_int start, sim)
 
 let barrier_latency ?(iters = 10) ~alg ~nodes () =
-  let span = coll_span ~nodes ~iters (fun g ~rank:_ -> Coll.barrier ~alg g) in
+  let span, _ = coll_span ~nodes ~iters (fun g ~rank:_ -> Coll.barrier ~alg g) in
   float_of_int span /. float_of_int iters /. 1_000.
 
-let coll_bandwidth ?(iters = 5) ~op ~alg ~nodes ~size () =
+let barrier_latency_observed ?(iters = 10) ~alg ~nodes () =
+  let span, sim =
+    coll_span ~observe:true ~nodes ~iters (fun g ~rank:_ -> Coll.barrier ~alg g)
+  in
+  let tr, m = instruments sim in
+  (float_of_int span /. float_of_int iters /. 1_000., tr, m)
+
+let coll_bandwidth_run ~observe ~iters ~op ~alg ~nodes ~size =
   (* float_sum combines 8-byte lanes, so keep allreduce payloads aligned. *)
   let size =
     match op with
@@ -208,8 +259,16 @@ let coll_bandwidth ?(iters = 5) ~op ~alg ~nodes ~size () =
     | `Allreduce ->
       ignore (Coll.allreduce ~alg g ~op:Coll.float_sum ~max:size payload)
   in
-  let span = coll_span ~nodes ~iters f in
-  Time.mbps ~bytes_transferred:(size * iters) ~elapsed:span
+  let span, sim = coll_span ~observe ~nodes ~iters f in
+  (Time.mbps ~bytes_transferred:(size * iters) ~elapsed:span, sim)
+
+let coll_bandwidth ?(iters = 5) ~op ~alg ~nodes ~size () =
+  fst (coll_bandwidth_run ~observe:false ~iters ~op ~alg ~nodes ~size)
+
+let coll_bandwidth_observed ?(iters = 5) ~op ~alg ~nodes ~size () =
+  let v, sim = coll_bandwidth_run ~observe:true ~iters ~op ~alg ~nodes ~size in
+  let tr, m = instruments sim in
+  (v, tr, m)
 
 let connect_time ~kind () =
   (* Mean time for connect() alone, over a fresh cluster. *)

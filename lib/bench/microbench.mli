@@ -19,6 +19,46 @@ val bandwidth : ?total:int -> kind:stack_kind -> msg:int -> unit -> float
 (** Stream [total] bytes (default 16 MB) in [msg]-byte messages; returns
     megabits per second of goodput. *)
 
+(** {1 Observed runs}
+
+    Same benchmarks, with the cluster simulation's shared
+    {!Uls_engine.Trace} enabled before any traffic and the timed
+    application loops wrapped in [App]-layer spans. The returned trace
+    holds span/instant events from every instrumented layer (nic, emp,
+    substrate or tcpip, app); the metrics registry holds the per-node
+    counters and histograms. Both remain valid after the run. *)
+
+val ping_pong_observed :
+  ?iters:int ->
+  ?warmup:int ->
+  kind:stack_kind ->
+  size:int ->
+  unit ->
+  float * Uls_engine.Trace.t * Uls_engine.Metrics.t
+
+val bandwidth_observed :
+  ?total:int ->
+  kind:stack_kind ->
+  msg:int ->
+  unit ->
+  float * Uls_engine.Trace.t * Uls_engine.Metrics.t
+
+val barrier_latency_observed :
+  ?iters:int ->
+  alg:Uls_collective.Group.algorithm ->
+  nodes:int ->
+  unit ->
+  float * Uls_engine.Trace.t * Uls_engine.Metrics.t
+
+val coll_bandwidth_observed :
+  ?iters:int ->
+  op:[ `Bcast | `Allreduce ] ->
+  alg:Uls_collective.Group.algorithm ->
+  nodes:int ->
+  size:int ->
+  unit ->
+  float * Uls_engine.Trace.t * Uls_engine.Metrics.t
+
 val connect_time : kind:stack_kind -> unit -> float
 (** Mean time of [connect()] alone, in microseconds (meaningless for
     [Emp_raw], which is connectionless). *)

@@ -178,4 +178,4 @@ let create ?(uq_slots = 16) ?(uq_size = 4096) ?(nic = true) eps ~rank =
     }
   in
   let nic_ops = if nic then Some (make_nic_ops t) else None in
-  Group.create ?nic:nic_ops tr
+  Group.create ?nic:nic_ops ~sim:t.sim tr

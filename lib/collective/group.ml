@@ -1,3 +1,5 @@
+open Uls_engine
+
 type algorithm = Linear | Binomial_tree | Recursive_doubling | Nic_forward
 
 let algorithm_name = function
@@ -45,16 +47,45 @@ type t = {
   nic : nic_ops option;
   mutable seq : int;
   mutable last_rounds : int;
+  metrics : Metrics.t option;
+  trace : Trace.t option;
 }
 
-let create ?nic tr =
+let create ?nic ?sim tr =
   if tr.size <= 0 then invalid_arg "Group.create: size must be positive";
   if tr.rank < 0 || tr.rank >= tr.size then invalid_arg "Group.create: rank";
-  { tr; nic; seq = 0; last_rounds = 0 }
+  {
+    tr;
+    nic;
+    seq = 0;
+    last_rounds = 0;
+    metrics = Option.map Metrics.for_sim sim;
+    trace = Option.map Trace.for_sim sim;
+  }
 
 let rank t = t.tr.rank
 let size t = t.tr.size
 let last_rounds t = t.last_rounds
+
+(* Wrap one collective in a Collective-layer span (when the transport
+   wired a simulation in) and record the per-op round count — the
+   quantity the algorithm families trade against each other. *)
+let observed t name alg f =
+  let r =
+    match t.trace with
+    | None -> f ()
+    | Some trace ->
+      Trace.span trace ~layer:Trace.Collective ~node:t.tr.rank ~seq:t.seq name
+        ~args:[ ("alg", algorithm_name alg) ]
+        f
+  in
+  (match t.metrics with
+  | None -> ()
+  | Some metrics ->
+    Metrics.incr metrics ~node:t.tr.rank ("coll." ^ name);
+    Metrics.observe metrics ~node:t.tr.rank "coll.rounds"
+      (float_of_int t.last_rounds));
+  r
 
 (* Every collective consumes one sequence number; ranks stay in lockstep
    because collectives must be called in the same order on every member.
@@ -172,6 +203,7 @@ let barrier_dissemination t ~seq =
   done
 
 let barrier ?(alg = Binomial_tree) t =
+  observed t "barrier" alg @@ fun () ->
   let seq = next_seq t in
   if t.tr.size = 1 then ()
   else
@@ -215,6 +247,7 @@ let bcast ?(alg = Binomial_tree) t ~root ~max data =
   check_root t root;
   if t.tr.rank = root && String.length data > max then
     invalid_arg "Group.bcast: data longer than max";
+  observed t "bcast" alg @@ fun () ->
   let seq = next_seq t in
   if t.tr.size = 1 then data
   else
@@ -281,6 +314,7 @@ let scatter ?(alg = Binomial_tree) t ~root ~max parts =
           invalid_arg "Group.scatter: part longer than max")
       parts
   end;
+  observed t "scatter" alg @@ fun () ->
   let seq = next_seq t in
   if t.tr.size = 1 then parts.(0)
   else
@@ -339,6 +373,7 @@ let gather ?(alg = Binomial_tree) t ~root ~max data =
   check_root t root;
   if String.length data > max then
     invalid_arg "Group.gather: data longer than max";
+  observed t "gather" alg @@ fun () ->
   let seq = next_seq t in
   if t.tr.size = 1 then Some [| data |]
   else
@@ -391,6 +426,7 @@ let allgather_gather_bcast t ~seq ~gather_alg ~bcast_alg ~max data =
 let allgather ?(alg = Binomial_tree) t ~max data =
   if String.length data > max then
     invalid_arg "Group.allgather: data longer than max";
+  observed t "allgather" alg @@ fun () ->
   let seq = next_seq t in
   if t.tr.size = 1 then [| data |]
   else
@@ -448,6 +484,7 @@ let reduce ?(alg = Binomial_tree) t ~op ~root ~max data =
   check_root t root;
   if String.length data > max then
     invalid_arg "Group.reduce: data longer than max";
+  observed t "reduce" alg @@ fun () ->
   let seq = next_seq t in
   if t.tr.size = 1 then Some data
   else
@@ -522,6 +559,7 @@ let allreduce_rd t ~seq ~op ~max data =
 let allreduce ?(alg = Binomial_tree) t ~op ~max data =
   if String.length data > max then
     invalid_arg "Group.allreduce: data longer than max";
+  observed t "allreduce" alg @@ fun () ->
   let seq = next_seq t in
   if t.tr.size = 1 then data
   else

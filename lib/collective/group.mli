@@ -63,9 +63,12 @@ type nic_ops = {
 
 type t
 
-val create : ?nic:nic_ops -> transport -> t
+val create : ?nic:nic_ops -> ?sim:Uls_engine.Sim.t -> transport -> t
 (** All members of one group must be created consistently: same size,
-    distinct ranks, and either all or none with [?nic]. *)
+    distinct ranks, and either all or none with [?nic]. Passing [?sim]
+    wires the group into that simulation's observability: each
+    collective records a [Collective]-layer span plus per-rank op and
+    round counts ({!Uls_engine.Metrics}, {!Uls_engine.Trace}). *)
 
 val rank : t -> int
 val size : t -> int

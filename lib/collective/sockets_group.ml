@@ -125,4 +125,4 @@ let connect_mesh sim stack ~nodes ~rank ~base_port =
       Cond.wait_until p.cond (fun () -> !result <> None);
       Option.get !result
   in
-  Group.create { Group.rank; size; send; irecv }
+  Group.create ~sim { Group.rank; size; send; irecv }

@@ -28,6 +28,7 @@ type send = {
   mutable s_rto : Time.ns;
   mutable s_done : bool;
   mutable s_failed : bool;
+  s_span : int;  (* trace span: open from post to full acknowledgment *)
   s_cond : Cond.t;
 }
 
@@ -88,6 +89,8 @@ type t = {
   node : Node.t;
   nic : Tigon.t;
   cfg : config;
+  metrics : Metrics.t;
+  trace : Trace.t;
   mutable next_msg_id : int;
   posted : recv Match_list.t;
   uq : uq_slot Vec.t;
@@ -159,11 +162,15 @@ let send_frame t st idx =
     }
   in
   Tigon.transmit t.nic (Wire.data_frame ~src:(node_id t) ~dst:st.s_dst data);
-  t.st_frames_sent <- t.st_frames_sent + 1
+  t.st_frames_sent <- t.st_frames_sent + 1;
+  Metrics.incr t.metrics ~node:(node_id t) "emp.frames_sent"
 
 let fail_send t st =
   st.s_failed <- true;
   Hashtbl.remove t.active_tx st.s_key;
+  Trace.span_end t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.send"
+    ~args:[ ("outcome", "failed") ]
+    st.s_span;
   Cond.broadcast st.s_cond
 
 (* The single transmit fiber of a message: streams frames subject to the
@@ -179,6 +186,10 @@ let tx_fiber t st () =
     st.s_retries <- st.s_retries + 1;
     if not (give_up ()) then begin
       t.st_retrans <- t.st_retrans + (st.s_next - st.s_acked);
+      Metrics.add t.metrics ~node:(node_id t) "emp.frames_retransmitted"
+        (st.s_next - st.s_acked);
+      Trace.instant t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.rto_rewind"
+        ~args:[ ("frames", string_of_int (st.s_next - st.s_acked)) ];
       st.s_next <- st.s_acked;
       st.s_rto <- min (2 * st.s_rto) (Time.ms 5)
     end
@@ -235,11 +246,16 @@ let post_send t ~dst ~tag region ~off ~len =
       s_rto = t.cfg.rto;
       s_done = false;
       s_failed = false;
+      s_span =
+        Trace.span_begin t.trace ~layer:Trace.Emp ~node:(node_id t)
+          ~seq:t.next_msg_id "emp.send"
+          ~args:[ ("len", string_of_int len) ];
       s_cond = Cond.create (sim t);
     }
   in
   Hashtbl.replace t.active_tx st.s_key st;
   t.st_msgs_sent <- t.st_msgs_sent + 1;
+  Metrics.incr t.metrics ~node:(node_id t) "emp.messages_sent";
   Sim.spawn (sim t) ~name:"emp-tx" (tx_fiber t st);
   st
 
@@ -295,6 +311,8 @@ let complete_recv r ~len ~src ~tag =
    for UQ traffic), then free the slot. *)
 let consume_uq t slot r =
   t.st_uq_hits <- t.st_uq_hits + 1;
+  Metrics.incr t.metrics ~node:(node_id t) "emp.uq_hits";
+  Trace.instant t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.uq_consume";
   let len = min slot.u_len r.r_cap in
   r.r_matched <- true;
   let finish () =
@@ -439,6 +457,8 @@ let match_new_message t (d : Wire.data) =
   match Match_list.take t.posted ~src ~tag:d.tag with
   | Some (r, walked) ->
     t.st_walked <- t.st_walked + walked;
+    Metrics.observe t.metrics ~node:(node_id t) "emp.match_walk_descs"
+      (float_of_int walked);
     Tigon.rx_work t.nic (walked * m.Cost_model.nic_tag_match_per_desc);
     if r.r_cancelled then None
     else begin
@@ -449,6 +469,8 @@ let match_new_message t (d : Wire.data) =
     let full_walk = Match_list.length t.posted in
     let slot, uq_walked = free_uq_slot_for t ~total_len:d.total_len in
     t.st_walked <- t.st_walked + full_walk + uq_walked;
+    Metrics.observe t.metrics ~node:(node_id t) "emp.match_walk_descs"
+      (float_of_int (full_walk + uq_walked));
     Tigon.rx_work t.nic
       ((full_walk + uq_walked) * m.Cost_model.nic_tag_match_per_desc);
     (match slot with
@@ -479,6 +501,10 @@ let finish_record t key record =
   Hashtbl.remove t.active_rx key;
   Hashtbl.replace t.finished_rx key record.rec_nframes;
   t.st_msgs_recv <- t.st_msgs_recv + 1;
+  Metrics.incr t.metrics ~node:(node_id t) "emp.messages_received";
+  Trace.instant t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.msg_complete"
+    ~seq:key.Wire.msg_id
+    ~args:[ ("len", string_of_int record.rec_total) ];
   match record.rec_dst with
   | To_user r ->
     complete_recv r
@@ -519,6 +545,8 @@ let rx_data t (d : Wire.data) =
         match match_new_message t d with
         | None ->
           t.st_drops <- t.st_drops + 1;
+          Metrics.incr t.metrics ~node:(node_id t) "emp.drops_no_descriptor";
+          Trace.instant t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.drop";
           None
         | Some dst ->
           let record =
@@ -573,6 +601,9 @@ let rx_data t (d : Wire.data) =
       then begin
         record.rec_nacked <- true;
         t.st_nacks <- t.st_nacks + 1;
+        Metrics.incr t.metrics ~node:(node_id t) "emp.nacks_sent";
+        Trace.instant t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.nack"
+          ~args:[ ("missing", string_of_int record.rec_prefix) ];
         Tigon.rx_work t.nic m.Cost_model.nic_ack_gen;
         Tigon.transmit t.nic
           (Wire.nack_frame ~src:(node_id t) ~dst:key.Wire.src_node ~key
@@ -598,6 +629,8 @@ let rx_ack t key acked =
     if st.s_acked >= st.s_nframes && not st.s_done then begin
       st.s_done <- true;
       Hashtbl.remove t.active_tx key;
+      Trace.span_end t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.send"
+        st.s_span;
       (* Completion notification DMA'd to the host. *)
       Tigon.dma t.nic ~bytes:8
     end;
@@ -649,6 +682,8 @@ let create ?(config = default_config) node nic =
       node;
       nic;
       cfg = config;
+      metrics = Metrics.for_sim sim;
+      trace = Trace.for_sim sim;
       next_msg_id = 0;
       posted = Match_list.create ();
       uq = Vec.create ();

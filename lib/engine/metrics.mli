@@ -1,0 +1,46 @@
+(** Named counters, gauges and histograms, optionally per node.
+
+    One registry per simulation ({!for_sim}, keyed by {!Sim.uid}) so any
+    layer can account events without a handle threaded through every
+    constructor. Metric names follow ["<layer>.<event>"] with a unit
+    suffix where one applies (e.g. ["emp.match_walk_descs"],
+    ["sub.credit_wait_us"]). Unlike {!Trace}, metrics are always on:
+    counters are too cheap to gate. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, private registry (mostly for tests). *)
+
+val for_sim : Sim.t -> t
+(** The simulation's shared registry, created on first use. *)
+
+(** {2 Counters} *)
+
+val counter : t -> ?node:int -> string -> Stats.Counter.t
+val incr : t -> ?node:int -> string -> unit
+val add : t -> ?node:int -> string -> int -> unit
+val counter_value : t -> ?node:int -> string -> int
+
+(** {2 Gauges} *)
+
+val gauge : t -> ?node:int -> string -> float ref
+val set_gauge : t -> ?node:int -> string -> float -> unit
+val gauge_value : t -> ?node:int -> string -> float
+
+(** {2 Histograms} *)
+
+val histogram : t -> ?node:int -> string -> Stats.Summary.t
+(** Full sample summary: mean, min/max, stddev, percentiles. *)
+
+val observe : t -> ?node:int -> string -> float -> unit
+
+(** {2 Registry} *)
+
+val reset : t -> unit
+(** Zero every counter and gauge, clear every histogram (the metrics
+    themselves stay registered). *)
+
+val dump : t -> Format.formatter -> unit
+(** Per-node listing: counters and gauges with values, histograms with
+    count / mean / p50 / p95 / max. *)

@@ -5,6 +5,7 @@ type task = {
 }
 
 type t = {
+  uid : int;  (* process-unique: lets side tables key off a simulation *)
   heap : task Heap.t;
   mutable now : Time.ns;
   mutable seq : int;
@@ -20,8 +21,12 @@ let compare_task a b =
   let c = compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
 
+let next_uid = ref 0
+
 let create () =
+  incr next_uid;
   {
+    uid = !next_uid;
     heap = Heap.create ~cmp:compare_task;
     now = 0;
     seq = 0;
@@ -31,6 +36,7 @@ let create () =
     executed = 0;
   }
 
+let uid t = t.uid
 let now t = t.now
 let blocked_fibers t = t.blocked
 let live_fibers t = t.live

@@ -15,6 +15,10 @@ exception Fiber_failure of string * exn
 
 val create : unit -> t
 
+val uid : t -> int
+(** Process-unique identifier of this simulation instance, usable as a
+    key in side tables (see {!Metrics.for_sim}, {!Trace.for_sim}). *)
+
 val now : t -> Time.ns
 
 val spawn : t -> ?name:string -> (unit -> unit) -> unit

@@ -19,6 +19,8 @@ type t = {
   node_id : int;
   sim : Sim.t;
   model : Cost_model.t;
+  metrics : Metrics.t;
+  trace : Trace.t;
   net : Uls_ether.Network.t;
   tx_cpu : Resource.t;
   rx_cpu : Resource.t;
@@ -53,6 +55,8 @@ let fwd_complete t fwd completing =
     (fun frame ->
       Resource.use t.tx_cpu t.model.Cost_model.nic_coll_forward;
       t.coll_forwarded <- t.coll_forwarded + 1;
+      Metrics.incr t.metrics ~node:t.node_id "nic.coll_forwarded";
+      Trace.instant t.trace ~layer:Trace.Nic ~node:t.node_id "nic.fwd_forward";
       Uls_ether.Network.send t.net frame)
     frames;
   match fwd.fwd_deliver with
@@ -66,6 +70,7 @@ let fwd_complete t fwd completing =
     in
     Resource.use t.dma_engine (Cost_model.dma_cost t.model bytes);
     t.coll_delivered <- t.coll_delivered + 1;
+    Metrics.incr t.metrics ~node:t.node_id "nic.coll_delivered";
     deliver completing
 
 let fwd_match t ~src ~tag frame =
@@ -82,6 +87,11 @@ let fwd_match t ~src ~tag frame =
   | Some (fwd, walked) ->
     Resource.use t.rx_cpu (walked * t.model.Cost_model.nic_tag_match_per_desc);
     t.coll_matched <- t.coll_matched + 1;
+    Metrics.incr t.metrics ~node:t.node_id "nic.coll_matched";
+    Metrics.observe t.metrics ~node:t.node_id "nic.fwd_walk_descs"
+      (float_of_int walked);
+    Trace.instant t.trace ~layer:Trace.Nic ~node:t.node_id "nic.fwd_match"
+      ~args:[ ("walked", string_of_int walked) ];
     fwd.fwd_need <- fwd.fwd_need - 1;
     if fwd.fwd_need <= 0 then fwd_complete t fwd frame
 
@@ -139,6 +149,8 @@ let create sim model net ~node =
       node_id = node;
       sim;
       model;
+      metrics = Metrics.for_sim sim;
+      trace = Trace.for_sim sim;
       net;
       tx_cpu = Resource.create sim ~name:(name "txcpu");
       rx_cpu = Resource.create sim ~name:(name "rxcpu");
@@ -156,6 +168,7 @@ let create sim model net ~node =
   in
   Uls_ether.Network.attach net ~station:node (fun frame ->
       t.rx_frames <- t.rx_frames + 1;
+      Metrics.incr t.metrics ~node "nic.rx_frames";
       match t.coll_classify frame with
       | Some (src, tag) -> Mailbox.send t.fwd_queue (Fwd_arrive (src, tag, Some frame))
       | None -> t.firmware_rx frame);
@@ -178,9 +191,16 @@ let transmit t frame =
   let uplink = Uls_ether.Network.uplink t.net ~station:t.node_id in
   let backlog = Uls_ether.Link.busy_until uplink - Sim.now t.sim in
   if backlog > tx_fifo_ns then Sim.delay t.sim (backlog - tx_fifo_ns);
+  Metrics.incr t.metrics ~node:t.node_id "nic.tx_frames";
   Uls_ether.Network.send t.net frame
-let tx_work t d = Resource.use t.tx_cpu d
-let rx_work t d = Resource.use t.rx_cpu d
+
+let tx_work t d =
+  Trace.span t.trace ~layer:Trace.Nic ~node:t.node_id "nic.tx_work" (fun () ->
+      Resource.use t.tx_cpu d)
+
+let rx_work t d =
+  Trace.span t.trace ~layer:Trace.Nic ~node:t.node_id "nic.rx_work" (fun () ->
+      Resource.use t.rx_cpu d)
 let dma t ~bytes = Resource.use t.dma_engine (Cost_model.dma_cost t.model bytes)
 
 let mailbox_ring t =

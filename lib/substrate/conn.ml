@@ -56,7 +56,13 @@ type t = {
   mutable rdvz_tx : Memory.region;  (* grow-on-demand registered buffer *)
   mutable rdvz_tx_pending : E.send option;
   mutable rdvz_rx : Memory.region;
-  grant_q : int Mailbox.t;
+  granted : (int, unit) Hashtbl.t;
+  (** rendezvous grants received but not yet claimed, keyed by rid:
+      concurrent writers must each pick up their own grant *)
+  grant_c : Cond.t;
+  mutable rdvz_leftover : string;
+  (** Data_streaming only: tail of a rendezvous message the reader
+      asked too few bytes for — served by subsequent reads *)
   (* receive side *)
   data_slots : slot array;
   spare_slots : slot Queue.t;  (* Comm_thread scheme: repost pool *)
@@ -77,12 +83,15 @@ type t = {
       below it are still due and must be delivered before EOF (a short
       close message can physically overtake a long data message) *)
   mutable closed : bool;
+  metrics : Metrics.t;
+  trace : Trace.t;
 }
 
 exception Closed = Uls_api.Sockets_api.Connection_closed
 
 let opts t = t.env.opts
 let sim t = Node.sim t.env.node
+let node_id t = Node.id t.env.node
 let id t = t.id
 let local_addr t = t.local_addr
 let peer_addr t = t.peer_addr
@@ -93,9 +102,9 @@ let set_peer t ~conn ~addr =
 let wake_all t =
   Cond.broadcast t.readable_c;
   Cond.broadcast t.credits_c;
-  (* Unblock a writer waiting for a rendezvous grant (Figure 7: the
+  (* Unblock every writer waiting for a rendezvous grant (Figure 7: the
      grant will never come once either side is closed). *)
-  Mailbox.send t.grant_q (-1);
+  Cond.broadcast t.grant_c;
   t.env.notify ()
 
 (* --- outgoing messages ---------------------------------------------- *)
@@ -110,6 +119,10 @@ let send_credit_ack t =
   if t.consumed_since_ack > 0 && t.peer_conn >= 0 && not t.peer_closed then begin
     let count = t.consumed_since_ack in
     t.consumed_since_ack <- 0;
+    Metrics.incr t.metrics ~node:(node_id t) "sub.credit_acks_sent";
+    Trace.instant t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
+      "sub.credit_ack"
+      ~args:[ ("credits", string_of_int count) ];
     post_ctrl t ~tag:(Tags.make Tags.Credit_ack t.peer_conn) (Codec.encode [ count ])
   end
 
@@ -130,7 +143,22 @@ let take_credit t =
     end
     else t.credits <- t.credits - 1
   in
-  wait ()
+  if t.credits = 0 && not (t.closed || t.peer_closed) then begin
+    (* Writer stalled on flow control: account how long (§6.1). *)
+    let t0 = Sim.now (sim t) in
+    let id =
+      Trace.span_begin t.trace ~layer:Trace.Substrate ~node:(node_id t)
+        ~conn:t.id "sub.credit_wait"
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.span_end t.trace ~layer:Trace.Substrate ~node:(node_id t)
+          ~conn:t.id "sub.credit_wait" id;
+        Metrics.observe t.metrics ~node:(node_id t) "sub.credit_wait_us"
+          (float_of_int (Sim.now (sim t) - t0) /. 1_000.))
+      wait
+  end
+  else wait ()
 
 let add_credits t n =
   if n > 0 then begin
@@ -286,7 +314,8 @@ let grant_fiber t () =
         (match Codec.decode_region t.grant_slot.sl_region ~off:0 ~count:1 with
         | [ rid ] ->
           ignore (post_slot t t.grant_slot ~tag:(Tags.make Tags.Rdvz_grant t.id));
-          Mailbox.send t.grant_q rid
+          Hashtbl.replace t.granted rid ();
+          Cond.broadcast t.grant_c
         | _ ->
           Codec.protocol_error
             "conn %d: undecodable rendezvous grant from node %d" t.id
@@ -302,9 +331,17 @@ let close_watch_fiber t () =
   | Some recv ->
     let len, _, _ = E.wait_recv t.env.emp recv in
     if len >= 0 then begin
+      if len < Codec.int_bytes then
+        Codec.protocol_error
+          "conn %d: close message from node %d too short (%d B < %d B)" t.id
+          t.peer_node len Codec.int_bytes;
       (match Codec.decode_region t.close_slot.sl_region ~off:0 ~count:1 with
       | [ seq ] -> t.close_seq <- seq
-      | _ -> t.close_seq <- 0);
+      | _ ->
+        (* Treating this as "close at seq 0" would discard in-flight
+           data still due to the reader. *)
+        Codec.protocol_error "conn %d: undecodable close message from node %d"
+          t.id t.peer_node);
       t.peer_closed <- true;
       wake_all t
     end
@@ -329,12 +366,27 @@ let rendezvous_write t data =
   t.next_seq <- seq + 1;
   t.next_rdvz <- t.next_rdvz + 1;
   let rid = t.next_rdvz in
+  Trace.instant t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
+    ~seq "sub.rdvz_request"
+    ~args:[ ("rid", string_of_int rid); ("len", string_of_int (String.length data)) ];
   post_ctrl t
     ~tag:(Tags.make Tags.Rdvz_request t.peer_conn)
     (Codec.encode [ seq; rid; String.length data ]);
-  (* Block until the receiver has synchronised (Figure 6). *)
-  let granted = Mailbox.recv t.grant_q in
-  if granted <> rid then raise Closed;
+  (* Block until the receiver has synchronised (Figure 6). Grants are
+     routed by rid so concurrent writers each claim their own. *)
+  let grant_wait =
+    Trace.span_begin t.trace ~layer:Trace.Substrate ~node:(node_id t)
+      ~conn:t.id ~seq "sub.rdvz_grant_wait"
+  in
+  let t0 = Sim.now (sim t) in
+  Cond.wait_until t.grant_c (fun () ->
+      t.closed || t.peer_closed || Hashtbl.mem t.granted rid);
+  Trace.span_end t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
+    ~seq "sub.rdvz_grant_wait" grant_wait;
+  Metrics.observe t.metrics ~node:(node_id t) "sub.rdvz_grant_wait_us"
+    (float_of_int (Sim.now (sim t) - t0) /. 1_000.);
+  if not (Hashtbl.mem t.granted rid) then raise Closed;
+  Hashtbl.remove t.granted rid;
   if t.closed || t.peer_closed then raise Closed;
   let region = rdvz_tx_region t (String.length data) in
   Memory.blit_from_string data region ~off:0;
@@ -387,9 +439,16 @@ let write t data =
   if t.closed || t.peer_closed then raise Closed;
   if t.peer_conn < 0 then raise Closed;
   if String.length data > 0 then begin
-    Node.compute t.env.node (opts t).Options.write_overhead;
-    if uses_rendezvous t (String.length data) then rendezvous_write t data
-    else eager_write t data
+    Metrics.incr t.metrics ~node:(node_id t) "sub.writes";
+    Metrics.add t.metrics ~node:(node_id t) "sub.bytes_written"
+      (String.length data);
+    Trace.span t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
+      "sub.write"
+      ~args:[ ("len", string_of_int (String.length data)) ]
+      (fun () ->
+        Node.compute t.env.node (opts t).Options.write_overhead;
+        if uses_rendezvous t (String.length data) then rendezvous_write t data
+        else eager_write t data)
   end
 
 (* --- read -------------------------------------------------------------- *)
@@ -418,6 +477,9 @@ let ack_due t =
   if (opts t).Options.piggyback then begin
     if not t.ack_holdoff_armed then begin
       t.ack_holdoff_armed <- true;
+      Metrics.incr t.metrics ~node:(node_id t) "sub.ack_holdoffs_armed";
+      Trace.instant t.trace ~layer:Trace.Substrate ~node:(node_id t)
+        ~conn:t.id "sub.ack_holdoff";
       Sim.at (sim t)
         (Sim.now (sim t) + piggyback_holdoff)
         (fun () ->
@@ -470,7 +532,11 @@ let read_eager t r n =
    region models the application's own receive buffer. *)
 let read_rdvz t (q : rdvz_req) n =
   ignore (Queue.pop t.req_q);
-  let cap = max 1 (min n q.rq_size) in
+  let streaming = (opts t).Options.mode = Options.Data_streaming in
+  (* Datagram semantics truncate to the reader's buffer; streaming must
+     not lose bytes, so receive the whole message and keep the tail for
+     later reads. *)
+  let cap = if streaming then max 1 q.rq_size else max 1 (min n q.rq_size) in
   if Memory.length t.rdvz_rx < cap then t.rdvz_rx <- Memory.alloc cap;
   let region = t.rdvz_rx in
   let r =
@@ -478,34 +544,62 @@ let read_rdvz t (q : rdvz_req) n =
       ~tag:(Tags.make Tags.Rdvz_data t.id)
       region ~off:0 ~len:cap
   in
+  Trace.instant t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
+    ~seq:q.rq_seq "sub.rdvz_grant"
+    ~args:[ ("rid", string_of_int q.rq_id) ];
   post_ctrl t
     ~tag:(Tags.make Tags.Rdvz_grant t.peer_conn)
     (Codec.encode [ q.rq_id ]);
   let len, _, _ = E.wait_recv t.env.emp r in
+  Trace.instant t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
+    ~seq:q.rq_seq "sub.rdvz_data"
+    ~args:[ ("len", string_of_int (max 0 len)) ];
   t.expected_seq <- t.expected_seq + 1;
   if len < 0 then ""
-  else Memory.sub_string region ~off:0 ~len:(min len cap)
+  else begin
+    let got = min len cap in
+    let m = min n got in
+    if streaming && m < got then
+      t.rdvz_leftover <- Memory.sub_string region ~off:m ~len:(got - m);
+    Memory.sub_string region ~off:0 ~len:m
+  end
+
+let read_leftover t n =
+  let m = min n (String.length t.rdvz_leftover) in
+  let s = String.sub t.rdvz_leftover 0 m in
+  t.rdvz_leftover <-
+    String.sub t.rdvz_leftover m (String.length t.rdvz_leftover - m);
+  (* The receiver-side copy out of the retained tail. *)
+  Node.compute t.env.node (Cost_model.copy_cost (Node.model t.env.node) m);
+  s
 
 let read t n =
   if t.closed then raise Closed;
   if n <= 0 then ""
-  else begin
-    Node.compute t.env.node (opts t).Options.read_overhead;
-    let rec wait () =
-      if t.closed then raise Closed;
-      match next_item t with
-      | Eager_msg r -> read_eager t r n
-      | Rdvz q -> read_rdvz t q n
-      | Eof -> ""
-      | Nothing ->
-        Cond.wait t.readable_c;
-        wait ()
-    in
-    wait ()
-  end
+  else
+    Trace.span t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
+      "sub.read" (fun () ->
+        Node.compute t.env.node (opts t).Options.read_overhead;
+        let rec wait () =
+          if t.closed then raise Closed;
+          if t.rdvz_leftover <> "" then read_leftover t n
+          else
+          match next_item t with
+          | Eager_msg r -> read_eager t r n
+          | Rdvz q -> read_rdvz t q n
+          | Eof -> ""
+          | Nothing ->
+            Cond.wait t.readable_c;
+            wait ()
+        in
+        let s = wait () in
+        Metrics.incr t.metrics ~node:(node_id t) "sub.reads";
+        Metrics.add t.metrics ~node:(node_id t) "sub.bytes_read"
+          (String.length s);
+        s)
 
 let readable t =
-  t.closed || t.peer_closed
+  t.closed || t.peer_closed || t.rdvz_leftover <> ""
   || (match next_item t with Nothing -> false | _ -> true)
 
 (* --- lifecycle ---------------------------------------------------------- *)
@@ -537,6 +631,8 @@ let unpost_everything t =
 let close t =
   if not t.closed then begin
     t.closed <- true;
+    Trace.instant t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
+      "sub.close";
     if t.peer_conn >= 0 && not t.peer_closed then
       post_ctrl t
         ~tag:(Tags.make Tags.Close t.peer_conn)
@@ -578,7 +674,9 @@ let create env ~id ~peer_node ~peer_conn ~local_addr ~peer_addr =
       rdvz_tx = Memory.alloc 16;
       rdvz_tx_pending = None;
       rdvz_rx = Memory.alloc 16;
-      grant_q = Mailbox.create (Node.sim env.node);
+      granted = Hashtbl.create 4;
+      grant_c = Cond.create (Node.sim env.node);
+      rdvz_leftover = "";
       data_slots = Array.init n (fun _ -> mk_slot opts.Options.buffer_size);
       spare_slots =
         (let q = Queue.create () in
@@ -604,6 +702,8 @@ let create env ~id ~peer_node ~peer_conn ~local_addr ~peer_addr =
       peer_closed = false;
       close_seq = max_int;
       closed = false;
+      metrics = Metrics.for_sim (Node.sim env.node);
+      trace = Trace.for_sim (Node.sim env.node);
     }
   in
   (* Post the connection's descriptors: N data (+ N ack unless UQ) plus

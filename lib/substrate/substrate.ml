@@ -141,9 +141,15 @@ let listen t ~port ~backlog =
   Sim.spawn (sim t) ~name:"sub-listen" (listener_fiber t l);
   l
 
-let accept t l =
+let rec accept t l =
   if l.l_closed then raise Uls_api.Sockets_api.Connection_closed;
-  let rq = Mailbox.recv l.l_requests in
+  match Mailbox.try_recv l.l_requests with
+  | None ->
+    (* Park on the substrate's activity condition so close_listener can
+       wake us (a plain Mailbox.recv would sleep through it forever). *)
+    Cond.wait t.activity;
+    accept t l
+  | Some rq ->
   let id = alloc_id t in
   let peer_addr = { Uls_api.Sockets_api.node = rq.rq_node; port = rq.rq_port } in
   let conn =
@@ -152,6 +158,10 @@ let accept t l =
       ~peer_addr
   in
   Hashtbl.replace t.conns id conn;
+  Metrics.incr (Metrics.for_sim (sim t)) ~node:(node_id t) "sub.accepts";
+  Trace.instant (Trace.for_sim (sim t)) ~layer:Trace.Substrate
+    ~node:(node_id t) ~conn:id "sub.accept"
+    ~args:[ ("peer", string_of_int rq.rq_node) ];
   (* Reply carries the server-side connection id. *)
   ignore
     (Sendpool.send t.ctrl_pool ~dst:rq.rq_node
@@ -172,16 +182,16 @@ let close_listener t l =
           ignore (E.unpost_recv t.emp r);
           slot.Conn.sl_current <- None
         | None -> ())
-      l.l_slots
+      l.l_slots;
+    (* Wake fibers parked in accept so they observe l_closed. *)
+    Cond.broadcast t.activity
   end
 
 (* --- connect ----------------------------------------------------------- *)
 
 exception Refused = Uls_api.Sockets_api.Connection_refused
 
-let connect t (server : Uls_api.Sockets_api.addr) =
-  if server.port < 0 || server.port > Tags.max_id then
-    invalid_arg "substrate: port > 4095";
+let connect_blocking t (server : Uls_api.Sockets_api.addr) =
   let id = alloc_id t in
   t.next_eport <- t.next_eport + 1;
   let local = { Uls_api.Sockets_api.node = node_id t; port = t.next_eport } in
@@ -215,6 +225,13 @@ let connect t (server : Uls_api.Sockets_api.addr) =
     ignore (E.unpost_recv t.emp reply);
     Conn.close conn;
     raise (Refused server)
+
+let connect t (server : Uls_api.Sockets_api.addr) =
+  if server.port < 0 || server.port > Tags.max_id then
+    invalid_arg "substrate: port > 4095";
+  Metrics.incr (Metrics.for_sim (sim t)) ~node:(node_id t) "sub.connects";
+  Trace.span (Trace.for_sim (sim t)) ~layer:Trace.Substrate ~node:(node_id t)
+    "sub.connect" (fun () -> connect_blocking t server)
 
 (* --- stack-agnostic API ------------------------------------------------ *)
 

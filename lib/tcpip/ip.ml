@@ -14,6 +14,8 @@ type t = {
   nic : Tigon.t;
   cpu : Resource.t;
   config : Config.t;
+  metrics : Metrics.t;
+  trace : Trace.t;
   mutable handler : src:int -> Segment.ip_payload -> unit;
   pending : Uls_ether.Frame.t Queue.t;
   arrival : Cond.t;
@@ -50,10 +52,14 @@ let send t ~dst payload =
   t.next_ip_id <- t.next_ip_id + 1;
   let id = t.next_ip_id in
   let per = Segment.max_fragment_payload in
+  Metrics.incr t.metrics ~node:me "ip.tx_datagrams";
+  Trace.instant t.trace ~layer:Trace.Tcpip ~node:me ~seq:id "ip.tx"
+    ~args:[ ("bytes", string_of_int total); ("dst", string_of_int dst) ];
   let rec emit off first =
     let remaining = total - off in
     if remaining > 0 || first then begin
       let carried = min per remaining in
+      Metrics.incr t.metrics ~node:me "ip.tx_frames";
       Resource.use t.cpu m.Cost_model.driver_tx_per_frame;
       Resource.use t.cpu m.Cost_model.pio_write;
       let fp : Uls_ether.Frame.payload =
@@ -91,6 +97,9 @@ let evict_stale t =
 
 let deliver t ~src payload =
   t.delivered <- t.delivered + 1;
+  Metrics.incr t.metrics ~node:(Node.id t.node) "ip.rx_datagrams";
+  Trace.instant t.trace ~layer:Trace.Tcpip ~node:(Node.id t.node) "ip.rx"
+    ~args:[ ("src", string_of_int src) ];
   t.handler ~src payload
 
 let ip_input t (frame : Uls_ether.Frame.t) =
@@ -148,7 +157,15 @@ let dispatcher t () =
       in
       coalesce ();
       t.interrupts <- t.interrupts + 1;
+      Metrics.incr t.metrics ~node:(Node.id t.node) "ip.interrupts";
+      Metrics.observe t.metrics ~node:(Node.id t.node) "ip.frames_per_interrupt"
+        (float_of_int (Queue.length t.pending));
       Resource.use t.cpu m.Cost_model.interrupt;
+      let sp =
+        Trace.span_begin t.trace ~layer:Trace.Tcpip ~node:(Node.id t.node)
+          "ip.rx_batch"
+          ~args:[ ("frames", string_of_int (Queue.length t.pending)) ]
+      in
       let rec drain () =
         match Queue.take_opt t.pending with
         | None -> ()
@@ -158,6 +175,8 @@ let dispatcher t () =
           drain ()
       in
       drain ();
+      Trace.span_end t.trace ~layer:Trace.Tcpip ~node:(Node.id t.node)
+        "ip.rx_batch" sp;
       loop ()
     end
   in
@@ -170,6 +189,8 @@ let create node nic ~cpu ~config =
       nic;
       cpu;
       config;
+      metrics = Metrics.for_sim (Node.sim node);
+      trace = Trace.for_sim (Node.sim node);
       handler = (fun ~src:_ _ -> ());
       pending = Queue.create ();
       arrival = Cond.create (Node.sim node);

@@ -31,6 +31,8 @@ type t = {
   cpu : Resource.t;
   config : Config.t;
   ip : Ip.t;
+  metrics : Metrics.t;
+  trace : Trace.t;
   conns : (int * int * int, Tcp_conn.t) Hashtbl.t;
   listeners : (int, listener) Hashtbl.t;
   udp_socks : (int, udp_sock) Hashtbl.t;
@@ -50,13 +52,24 @@ let ip t = t.ip
 
 let conn_key ~local_port ~remote:(r : addr) = (local_port, r.node, r.port)
 
+(* Every blocking socket call crosses into the kernel; count the
+   crossings per node — the per-byte contrast with the user-level
+   substrate is the paper's central claim. *)
+let syscall t name =
+  Metrics.incr t.metrics ~node:(node_id t) "os.syscalls";
+  Trace.instant t.trace ~layer:Trace.Tcpip ~node:(node_id t) "os.syscall"
+    ~args:[ ("call", name) ];
+  Os.syscall (Node.os t.node)
+
 let env_of t =
   {
     Tcp_conn.node = t.node;
     cpu = t.cpu;
     config = t.config;
     ip_send =
-      (fun ~dst seg -> Ip.send t.ip ~dst (Segment.Tcp seg));
+      (fun ~dst seg ->
+        Metrics.incr t.metrics ~node:(node_id t) "tcp.tx_segments";
+        Ip.send t.ip ~dst (Segment.Tcp seg));
     unregister =
       (fun c ->
         let key =
@@ -70,6 +83,7 @@ let env_of t =
 
 let send_rst t ~dst (seg : Segment.tcp_segment) =
   t.rsts_sent <- t.rsts_sent + 1;
+  Metrics.incr t.metrics ~node:(node_id t) "tcp.rsts_sent";
   let rst =
     {
       Segment.src_port = seg.Segment.dst_port;
@@ -111,6 +125,11 @@ let handle_syn t ~src (seg : Segment.tcp_segment) =
   | None -> send_rst t ~dst:src seg
 
 let tcp_input t ~src (seg : Segment.tcp_segment) =
+  Metrics.incr t.metrics ~node:(node_id t) "tcp.rx_segments";
+  Trace.instant t.trace ~layer:Trace.Tcpip ~node:(node_id t)
+    ~seq:seg.Segment.seq "tcp.rx_segment"
+    ~args:[ ("src", string_of_int src);
+            ("bytes", string_of_int (String.length seg.Segment.data)) ];
   Resource.use t.cpu (model t).Cost_model.tcp_rx_per_segment;
   let key = (seg.Segment.dst_port, src, seg.Segment.src_port) in
   match Hashtbl.find_opt t.conns key with
@@ -121,6 +140,7 @@ let tcp_input t ~src (seg : Segment.tcp_segment) =
     else if not seg.Segment.flags.Segment.rst then send_rst t ~dst:src seg
 
 let udp_input t ~src (d : Segment.udp_datagram) =
+  Metrics.incr t.metrics ~node:(node_id t) "udp.rx_datagrams";
   Resource.use t.cpu (model t).Cost_model.tcp_rx_per_segment;
   match Hashtbl.find_opt t.udp_socks d.Segment.u_dst_port with
   | None -> () (* no ICMP in this model *)
@@ -145,6 +165,8 @@ let create node nic ~config =
       cpu;
       config;
       ip;
+      metrics = Metrics.for_sim (Node.sim node);
+      trace = Trace.for_sim (Node.sim node);
       conns = Hashtbl.create 64;
       listeners = Hashtbl.create 16;
       udp_socks = Hashtbl.create 16;
@@ -168,7 +190,7 @@ let alloc_port t =
 exception Refused = Uls_api.Sockets_api.Connection_refused
 
 let listen t ~port ~backlog =
-  Os.syscall (Node.os t.node);
+  syscall t "listen";
   if Hashtbl.mem t.listeners port then
     raise (Uls_api.Sockets_api.Bind_in_use { node = node_id t; port });
   let l =
@@ -185,7 +207,7 @@ let listen t ~port ~backlog =
   l
 
 let accept t l =
-  Os.syscall (Node.os t.node);
+  syscall t "accept";
   let rec wait () =
     match Queue.take_opt l.accept_q with
     | Some c -> c
@@ -212,7 +234,7 @@ let close_listener t l =
   end
 
 let connect t (remote : addr) =
-  Os.syscall (Node.os t.node);
+  syscall t "connect";
   Resource.use t.cpu (model t).Cost_model.tcp_connect_kernel;
   let local = { Uls_api.Sockets_api.node = node_id t; port = alloc_port t } in
   let c = Tcp_conn.connect (env_of t) ~local ~remote in
@@ -235,7 +257,7 @@ let connect t (remote : addr) =
 (* --- UDP socket calls ------------------------------------------------ *)
 
 let udp_bind t ~port =
-  Os.syscall (Node.os t.node);
+  syscall t "bind";
   if Hashtbl.mem t.udp_socks port then
     raise (Uls_api.Sockets_api.Bind_in_use { node = node_id t; port });
   let s =
@@ -253,7 +275,7 @@ let udp_bind t ~port =
   s
 
 let udp_sendto t s ~(dst : addr) data =
-  Os.syscall (Node.os t.node);
+  syscall t "sendto";
   let m = model t in
   Resource.use t.cpu (Cost_model.copy_cost m (String.length data));
   Resource.use t.cpu m.Cost_model.tcp_tx_per_segment;
@@ -262,7 +284,7 @@ let udp_sendto t s ~(dst : addr) data =
        { u_src_port = s.u_port; u_dst_port = dst.port; u_data = data })
 
 let udp_recvfrom t s =
-  Os.syscall (Node.os t.node);
+  syscall t "recvfrom";
   let m = model t in
   let rec wait () =
     match Queue.take_opt s.u_queue with

@@ -448,7 +448,11 @@ let input t (seg : Segment.tcp_segment) =
 
 exception App_closed = Uls_api.Sockets_api.Connection_closed
 
-let syscall t = Os.syscall (Node.os t.env.node)
+let syscall t =
+  Metrics.incr
+    (Metrics.for_sim (sim t))
+    ~node:(Node.id t.env.node) "os.syscalls";
+  Os.syscall (Node.os t.env.node)
 
 let charge_wakeup t = Sim.delay (sim t) (model t).Cost_model.sched_wakeup
 
@@ -483,7 +487,11 @@ let app_send t data =
       end
     end
   in
-  push 0
+  Trace.span
+    (Trace.for_sim (sim t))
+    ~layer:Trace.Tcpip ~node:(Node.id t.env.node) "tcp.send"
+    ~args:[ ("len", string_of_int len) ]
+    (fun () -> push 0)
 
 let maybe_window_update t =
   let wnd = advertised_window t in
@@ -512,7 +520,11 @@ let app_recv t n =
       pull ()
     end
   in
-  if n <= 0 then "" else pull ()
+  if n <= 0 then ""
+  else
+    Trace.span
+      (Trace.for_sim (sim t))
+      ~layer:Trace.Tcpip ~node:(Node.id t.env.node) "tcp.recv" pull
 
 let app_readable t =
   Bytebuf.available t.rcv_buf > 0 || t.fin_rcvd || t.rst_rcvd

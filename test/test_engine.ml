@@ -340,6 +340,143 @@ let prop_percentile_bounded =
       let p = Stats.Summary.percentile s 0.9 in
       p >= Stats.Summary.min s && p <= Stats.Summary.max s)
 
+(* --- Metrics --- *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.incr m "x";
+  Metrics.add m "x" 4;
+  Metrics.incr m ~node:1 "x";
+  check_int "global counter" 5 (Metrics.counter_value m "x");
+  check_int "per-node counter is distinct" 1 (Metrics.counter_value m ~node:1 "x");
+  check_int "unknown counter reads 0" 0 (Metrics.counter_value m "y");
+  Metrics.set_gauge m "g" 2.5;
+  Alcotest.(check (float 0.)) "gauge" 2.5 (Metrics.gauge_value m "g")
+
+let test_metrics_histogram_percentiles () =
+  let m = Metrics.create () in
+  for i = 1 to 100 do
+    Metrics.observe m "lat" (float_of_int i)
+  done;
+  let h = Metrics.histogram m "lat" in
+  check_int "count" 100 (Stats.Summary.count h);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Stats.Summary.mean h);
+  Alcotest.(check (float 1.0)) "p50" 50. (Stats.Summary.percentile h 0.5);
+  Alcotest.(check (float 1.0)) "p95" 95. (Stats.Summary.percentile h 0.95);
+  Alcotest.(check (float 0.)) "max" 100. (Stats.Summary.max h)
+
+let test_metrics_reset () =
+  let m = Metrics.create () in
+  Metrics.add m ~node:0 "c" 7;
+  Metrics.set_gauge m "g" 3.;
+  Metrics.observe m "h" 1.;
+  Metrics.reset m;
+  check_int "counter zeroed" 0 (Metrics.counter_value m ~node:0 "c");
+  Alcotest.(check (float 0.)) "gauge zeroed" 0. (Metrics.gauge_value m "g");
+  check_int "histogram cleared" 0 (Stats.Summary.count (Metrics.histogram m "h"));
+  Metrics.incr m ~node:0 "c";
+  check_int "counts again after reset" 1 (Metrics.counter_value m ~node:0 "c")
+
+let test_metrics_per_sim_registry () =
+  let a = Sim.create () and b = Sim.create () in
+  Metrics.incr (Metrics.for_sim a) "only-a";
+  check_int "same sim, same registry" 1
+    (Metrics.counter_value (Metrics.for_sim a) "only-a");
+  check_int "other sim unaffected" 0
+    (Metrics.counter_value (Metrics.for_sim b) "only-a")
+
+(* --- typed Trace --- *)
+
+let test_trace_event_ordering () =
+  let sim = Sim.create () in
+  let tr = Trace.create sim in
+  Trace.enable tr;
+  Sim.spawn sim (fun () ->
+      Trace.instant tr ~layer:Trace.App ~node:0 "first";
+      Sim.delay sim 100;
+      Trace.instant tr ~layer:Trace.Nic ~node:1 "second");
+  ignore (Sim.run sim);
+  match Trace.events tr with
+  | [ a; b ] ->
+    Alcotest.(check string) "names in time order" "first" a.Trace.ev_name;
+    Alcotest.(check string) "second event" "second" b.Trace.ev_name;
+    check_int "first timestamp" 0 a.Trace.ev_time;
+    check_int "second timestamp" 100 b.Trace.ev_time;
+    check_bool "layer recorded" true (b.Trace.ev_layer = Trace.Nic)
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_trace_disabled_records_nothing () =
+  let sim = Sim.create () in
+  let tr = Trace.create sim in
+  Sim.spawn sim (fun () ->
+      Trace.instant tr ~layer:Trace.App "dropped";
+      let id = Trace.span_begin tr ~layer:Trace.App "dropped-span" in
+      check_int "span id 0 while disabled" 0 id;
+      Trace.span_end tr ~layer:Trace.App "dropped-span" id);
+  ignore (Sim.run sim);
+  check_int "nothing recorded" 0 (List.length (Trace.events tr))
+
+let test_trace_span_totals () =
+  let sim = Sim.create () in
+  let tr = Trace.create sim in
+  Trace.enable tr;
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 3 do
+        Trace.span tr ~layer:Trace.Substrate "op" (fun () -> Sim.delay sim 50)
+      done);
+  ignore (Sim.run sim);
+  match Trace.span_totals tr with
+  | [ (layer, name, count, total_ns) ] ->
+    check_bool "layer" true (layer = Trace.Substrate);
+    Alcotest.(check string) "name" "op" name;
+    check_int "count" 3 count;
+    check_int "total" 150 total_ns
+  | l -> Alcotest.failf "expected 1 aggregate, got %d" (List.length l)
+
+let test_trace_chrome_json_shape () =
+  let sim = Sim.create () in
+  let tr = Trace.create sim in
+  Trace.enable tr;
+  Sim.spawn sim (fun () ->
+      Trace.span tr ~layer:Trace.Emp ~node:1 ~conn:3 "emp.send"
+        ~args:[ ("len", "4") ]
+        (fun () -> Sim.delay sim 1_000);
+      Trace.instant tr ~layer:Trace.Nic ~node:0 "nic.rx \"quoted\"");
+  ignore (Sim.run sim);
+  let json = Trace.to_chrome_json tr in
+  check_bool "array brackets" true
+    (String.length json > 2 && json.[0] = '[');
+  let contains needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "begin phase" true (contains {|"ph":"b"|});
+  check_bool "end phase" true (contains {|"ph":"e"|});
+  check_bool "instant phase" true (contains {|"ph":"i"|});
+  check_bool "category is layer" true (contains {|"cat":"emp"|});
+  check_bool "args survive" true (contains {|"len":"4"|});
+  check_bool "quotes escaped" true (contains {|\"quoted\"|})
+
+let test_trace_overlapping_spans_by_id () =
+  (* Two in-flight spans of the same name must keep distinct ids so a
+     viewer can pair begin/end correctly. *)
+  let sim = Sim.create () in
+  let tr = Trace.create sim in
+  Trace.enable tr;
+  Sim.spawn sim (fun () ->
+      let a = Trace.span_begin tr ~layer:Trace.Emp "msg" in
+      let b = Trace.span_begin tr ~layer:Trace.Emp "msg" in
+      check_bool "distinct ids" true (a <> b);
+      Sim.delay sim 10;
+      Trace.span_end tr ~layer:Trace.Emp "msg" b;
+      Sim.delay sim 10;
+      Trace.span_end tr ~layer:Trace.Emp "msg" a);
+  ignore (Sim.run sim);
+  match Trace.span_totals tr with
+  | [ (_, "msg", 2, total) ] -> check_int "total 10+20" 30 total
+  | _ -> Alcotest.fail "expected one aggregate over 2 spans"
+
 (* --- Time --- *)
 
 let test_time_units () =
@@ -407,6 +544,26 @@ let suites =
       :: Alcotest.test_case "percentile edge cases" `Quick test_percentile_edges
       :: Alcotest.test_case "counter reset" `Quick test_counter_reset
       :: qsuite [ prop_percentile_bounded ] );
+    ( "engine.metrics",
+      [
+        Alcotest.test_case "counters and gauges" `Quick test_metrics_counters;
+        Alcotest.test_case "histogram percentiles" `Quick
+          test_metrics_histogram_percentiles;
+        Alcotest.test_case "reset" `Quick test_metrics_reset;
+        Alcotest.test_case "per-sim registry" `Quick
+          test_metrics_per_sim_registry;
+      ] );
+    ( "engine.trace-events",
+      [
+        Alcotest.test_case "event ordering" `Quick test_trace_event_ordering;
+        Alcotest.test_case "disabled records nothing" `Quick
+          test_trace_disabled_records_nothing;
+        Alcotest.test_case "span totals" `Quick test_trace_span_totals;
+        Alcotest.test_case "chrome json shape" `Quick
+          test_trace_chrome_json_shape;
+        Alcotest.test_case "overlapping span ids" `Quick
+          test_trace_overlapping_spans_by_id;
+      ] );
     ( "engine.time",
       [
         Alcotest.test_case "units" `Quick test_time_units;

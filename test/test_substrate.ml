@@ -607,6 +607,135 @@ let test_substrate_loss_recovery () =
       check_bool "EMP retransmitted" true
         ((E.stats (Uls_bench.Cluster.emp c 0)).E.frames_retransmitted > 0))
 
+(* --- regression tests --------------------------------------------------- *)
+
+let rz = { ds with Opt.scheme = Opt.Rendezvous }
+
+let test_rendezvous_short_read_keeps_tail () =
+  (* A rendezvous message read with a smaller buffer must not lose its
+     tail in Data_streaming mode: the remainder is served by later
+     reads, exactly like the eager path. *)
+  with_cluster ~opts:rz ~n:2 (fun c api sim ->
+      let parts = ref [] in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          let first = s.recv 4 in
+          let second = try recv_exact s 6 with Connection_closed -> "<eof>" in
+          parts := [ first; second ];
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          s.send "0123456789";
+          s.close ());
+      ignore (Uls_bench.Cluster.run c);
+      Alcotest.(check (list string))
+        "short rendezvous read keeps the tail" [ "0123"; "456789" ] !parts)
+
+let test_close_listener_wakes_acceptor () =
+  (* Closing a listener must wake a fiber parked in accept rather than
+     leaving it blocked forever. *)
+  with_cluster ~n:2 (fun c api sim ->
+      let woken = ref false in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          Sim.spawn sim (fun () ->
+              try ignore (l.accept ()) with Connection_closed -> woken := true);
+          Sim.delay sim (Time.ms 1);
+          l.close_listener ());
+      ignore (Uls_bench.Cluster.run c);
+      check_bool "parked acceptor raised Connection_closed" true !woken)
+
+let test_undecodable_close_is_protocol_error () =
+  (* A close message too short to carry its sequence number must be
+     flagged as a protocol error, not treated as "close at seq 0" (which
+     would discard data still in flight). *)
+  with_cluster ~n:2 (fun c api sim ->
+      let got_error = ref false in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          (try ignore (s.recv 16) with Connection_closed -> ());
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          ignore s;
+          Sim.delay sim (Time.us 50);
+          (* A buggy peer: 3 bytes of garbage where the 8-byte close
+             sequence number belongs, aimed at the server's conn id. *)
+          let e0 = Uls_bench.Cluster.emp c 0 in
+          let region = Uls_host.Memory.alloc 3 in
+          Uls_host.Memory.blit_from_string "zzz" region ~off:0;
+          let snd =
+            E.post_send e0 ~dst:1
+              ~tag:Uls_substrate.Tags.(make Close 1)
+              region ~off:0 ~len:3
+          in
+          E.wait_send e0 snd);
+      (try ignore (Uls_bench.Cluster.run c) with
+      | Sim.Fiber_failure (_, Uls_substrate.Codec.Protocol_error _) ->
+        got_error := true);
+      check_bool "undecodable close is a protocol error" true !got_error)
+
+let test_peer_close_wakes_all_rendezvous_writers () =
+  (* Two fibers blocked awaiting rendezvous grants on the same
+     connection: the peer closing must wake both (the shared grant
+     mailbox delivered its -1 sentinel to only one, starving the
+     other forever). *)
+  with_cluster ~opts:rz ~n:2 (fun c api sim ->
+      let closed = ref 0 in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          (* Let both writers park on their grants, then close without
+             reading. *)
+          Sim.delay sim (Time.ms 2);
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          for _ = 1 to 2 do
+            Sim.spawn sim (fun () ->
+                try s.send (String.make 1_024 'r')
+                with Connection_closed -> incr closed)
+          done);
+      ignore (Uls_bench.Cluster.run c);
+      check_int "both parked writers raised Closed" 2 !closed)
+
+let test_concurrent_rendezvous_writers_deliver_all () =
+  (* Two fibers writing concurrently through the rendezvous path: each
+     must receive its own grant (routed by rid) and every byte must
+     reach the reader. *)
+  with_cluster ~opts:rz ~n:2 (fun c api sim ->
+      let per_write = 8_192 and writes_each = 4 in
+      let expect = 2 * writes_each * per_write in
+      let failures = ref 0 and wrote = ref 0 and got = ref 0 in
+      Sim.spawn sim (fun () ->
+          let l = api.listen ~node:1 ~port:80 ~backlog:1 in
+          let s, _ = l.accept () in
+          while !got < expect do
+            got := !got + String.length (s.recv 65_536)
+          done;
+          s.close ());
+      Sim.spawn sim (fun () ->
+          Sim.delay sim (Time.us 10);
+          let s = api.connect ~node:0 { node = 1; port = 80 } in
+          for w = 0 to 1 do
+            Sim.spawn sim (fun () ->
+                try
+                  for _ = 1 to writes_each do
+                    s.send (String.make per_write (Char.chr (Char.code 'a' + w)));
+                    incr wrote
+                  done
+                with Connection_closed -> incr failures)
+          done);
+      ignore (Uls_bench.Cluster.run c);
+      check_int "no writer saw a spurious Closed" 0 !failures;
+      check_int "every write completed" (2 * writes_each) !wrote;
+      check_int "reader drained every byte" expect !got)
+
 let prop_ds_stream_integrity =
   QCheck.Test.make ~name:"substrate DS preserves random byte streams" ~count:15
     QCheck.(pair (int_range 1 120_000) (int_range 1 30_000))
@@ -706,5 +835,18 @@ let suites =
         Alcotest.test_case "many interleaved connections" `Quick
           test_many_connections_interleaved;
         Alcotest.test_case "loss recovery" `Quick test_substrate_loss_recovery;
+      ] );
+    ( "substrate.regressions",
+      [
+        Alcotest.test_case "short rendezvous read keeps tail" `Quick
+          test_rendezvous_short_read_keeps_tail;
+        Alcotest.test_case "close_listener wakes acceptor" `Quick
+          test_close_listener_wakes_acceptor;
+        Alcotest.test_case "undecodable close is protocol error" `Quick
+          test_undecodable_close_is_protocol_error;
+        Alcotest.test_case "peer close wakes all rendezvous writers" `Quick
+          test_peer_close_wakes_all_rendezvous_writers;
+        Alcotest.test_case "concurrent rendezvous writers" `Quick
+          test_concurrent_rendezvous_writers_deliver_all;
       ] );
   ]
