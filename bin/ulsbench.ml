@@ -129,6 +129,70 @@ let bandwidth_cmd =
     (Cmd.info "bandwidth" ~doc:"Unidirectional stream bandwidth")
     Term.(const run $ stack $ msg $ total $ metrics_flag)
 
+(* --- chaos -------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let stacks =
+    Arg.(value & opt_all stack_conv [ `Ds; `Tcp ] & info [ "stack" ]
+           ~docv:"STACK"
+           ~doc:"Stack(s) to sweep (repeatable): tcp | tcp-tuned | ds | \
+                 ds-base | dg. Default: ds and tcp.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Fault-engine seed; same seed, same fault sequence.")
+  in
+  let total =
+    Arg.(value & opt int (4 * 1024 * 1024) & info [ "total" ] ~docv:"BYTES"
+           ~doc:"Bytes streamed per run.")
+  in
+  let msg =
+    Arg.(value & opt int 16_384 & info [ "msg" ] ~docv:"BYTES"
+           ~doc:"Bytes per write.")
+  in
+  let rates =
+    Arg.(value & opt (list float) Uls_bench.Chaos.default_rates
+         & info [ "loss" ] ~docv:"P,P,..."
+             ~doc:"Frame-loss probabilities to sweep (fractions, not %).")
+  in
+  let chaos_kind = function
+    | `Emp ->
+      prerr_endline "ulsbench chaos: raw EMP has no sockets stream; use ds/dg";
+      exit 124
+    | `Tcp -> Uls_bench.Chaos.Tcp Uls_tcp.Config.default
+    | `Tcp_tuned ->
+      Uls_bench.Chaos.Tcp Uls_tcp.Config.(with_buffers default 262_144)
+    | `Ds -> Uls_bench.Chaos.Sub Uls_substrate.Options.data_streaming_enhanced
+    | `Ds_base -> Uls_bench.Chaos.Sub Uls_substrate.Options.data_streaming
+    | `Dg -> Uls_bench.Chaos.Sub Uls_substrate.Options.datagram
+  in
+  let run stacks seed total msg rates =
+    let failures = ref 0 in
+    List.iter
+      (fun stack ->
+        let kind = chaos_kind stack in
+        let rows = Uls_bench.Chaos.sweep ~seed ~rates ~total ~msg ~kind () in
+        Uls_bench.Chaos.print_table Format.std_formatter ~kind rows;
+        List.iter
+          (fun r ->
+            if not (r.Uls_bench.Chaos.completed && r.Uls_bench.Chaos.intact)
+            then incr failures)
+          rows)
+      stacks;
+    if !failures > 0 then begin
+      Printf.eprintf "ulsbench chaos: %d run(s) hung or corrupted data\n"
+        !failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Stream a checksummed payload under seeded frame loss and print \
+          goodput/retransmission tables per loss rate; exits non-zero if \
+          any run hangs or delivers corrupt bytes")
+    Term.(const run $ stacks $ seed $ total $ msg $ rates)
+
 (* --- trace -------------------------------------------------------------- *)
 
 let trace_cmd =
@@ -304,4 +368,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ figures_cmd; latency_cmd; bandwidth_cmd; collective_cmd; trace_cmd ]))
+          [
+            figures_cmd;
+            latency_cmd;
+            bandwidth_cmd;
+            collective_cmd;
+            chaos_cmd;
+            trace_cmd;
+          ]))

@@ -4,7 +4,9 @@ type addr = {
 }
 
 exception Connection_refused of addr
+exception Connection_timeout of addr
 exception Connection_closed
+exception Connection_reset
 exception Bind_in_use of addr
 
 type stream = {

@@ -20,7 +20,19 @@ type addr = {
 }
 
 exception Connection_refused of addr
+(** The remote end answered and explicitly declined (no listener on the
+    port). Not retryable. *)
+
+exception Connection_timeout of addr
+(** No reply within the configured attempts — the request or its reply
+    may have been lost. Retryable. *)
+
 exception Connection_closed
+
+exception Connection_reset
+(** The transport gave up delivering to the peer (every retransmission
+    round exhausted): the connection is dead, in-flight data is lost. *)
+
 exception Bind_in_use of addr
 
 type stream = {

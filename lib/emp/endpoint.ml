@@ -99,6 +99,7 @@ type t = {
   active_tx : (Wire.msg_key, send) Hashtbl.t;
   rx_queue : Uls_ether.Frame.t Mailbox.t;
   uq_arrival : Cond.t;
+  mutable on_send_failure : dst:int -> tag:int -> retries:int -> unit;
   mutable st_msgs_sent : int;
   mutable st_msgs_recv : int;
   mutable st_frames_sent : int;
@@ -168,10 +169,15 @@ let send_frame t st idx =
 let fail_send t st =
   st.s_failed <- true;
   Hashtbl.remove t.active_tx st.s_key;
+  Metrics.incr t.metrics ~node:(node_id t) "emp.send_failures";
   Trace.span_end t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.send"
     ~args:[ ("outcome", "failed") ]
     st.s_span;
-  Cond.broadcast st.s_cond
+  Cond.broadcast st.s_cond;
+  (* Tell the layer above (the substrate maps the tag back to its
+     connection and resets it) — not every failed send has a fiber
+     parked in [wait_send] to observe the failure. *)
+  t.on_send_failure ~dst:st.s_dst ~tag:st.s_tag ~retries:st.s_retries
 
 (* The single transmit fiber of a message: streams frames subject to the
    in-flight window, then waits for full acknowledgment, rewinding to the
@@ -385,6 +391,26 @@ let unpost_recv t r =
 
 let uq_has_match t ~src ~tag = uq_match t ~src ~tag <> None
 let uq_arrival_cond t = t.uq_arrival
+
+let uq_take t ~pred =
+  let n = Vec.length t.uq in
+  let rec scan i =
+    if i >= n then None
+    else begin
+      let slot = Vec.get t.uq i in
+      if slot.u_state = `Arrived && pred ~src:slot.u_from ~tag:slot.u_tag then begin
+        let data = Memory.sub_string slot.u_buf ~off:0 ~len:slot.u_len in
+        let src = slot.u_from and tag = slot.u_tag in
+        slot.u_state <- `Free;
+        slot.u_len <- 0;
+        Some (data, src, tag)
+      end
+      else scan (i + 1)
+    end
+  in
+  scan 0
+
+let set_send_failure_handler t f = t.on_send_failure <- f
 
 let provision_unexpected t ~slots ~size =
   for _ = 1 to slots do
@@ -692,6 +718,7 @@ let create ?(config = default_config) node nic =
       active_tx = Hashtbl.create 64;
       rx_queue = Mailbox.create sim;
       uq_arrival = Cond.create sim;
+      on_send_failure = (fun ~dst:_ ~tag:_ ~retries:_ -> ());
       st_msgs_sent = 0;
       st_msgs_recv = 0;
       st_frames_sent = 0;

@@ -48,6 +48,13 @@ val wait_send : t -> send -> unit
 (** Block until fully acknowledged. @raise Send_failed after
     [max_retries] unacknowledged retransmission rounds. *)
 
+val set_send_failure_handler :
+  t -> (dst:int -> tag:int -> retries:int -> unit) -> unit
+(** Called (from the transmit fiber) whenever a posted send exhausts its
+    retries, whether or not anyone is blocked in {!wait_send} — the
+    substrate uses it to reset the owning connection. One handler per
+    endpoint; default is a no-op. *)
+
 (** {1 Receiving} *)
 
 type recv
@@ -94,6 +101,12 @@ val uq_has_match : t -> src:int -> tag:int -> bool
 
 val uq_arrival_cond : t -> Uls_engine.Cond.t
 (** Broadcast whenever a message completes into the unexpected queue. *)
+
+val uq_take : t -> pred:(src:int -> tag:int -> bool) -> (string * int * int) option
+(** Remove the first complete unexpected-queue message satisfying [pred]
+    and return [(payload, src, tag)], freeing its slot. The substrate's
+    refusal scanner uses this to answer connection requests aimed at
+    ports nobody listens on. *)
 
 val reset : t -> unit
 (** EMP state reset (new application): unposts everything. *)

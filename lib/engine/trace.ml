@@ -5,9 +5,10 @@
    buffer exports as a Chrome-trace JSON array (chrome://tracing /
    Perfetto: one "process" per node, one "thread" per layer). *)
 
-type layer = Nic | Emp | Substrate | Tcpip | Collective | App | Engine
+type layer = Net | Nic | Emp | Substrate | Tcpip | Collective | App | Engine
 
 let layer_name = function
+  | Net -> "net"
   | Nic -> "nic"
   | Emp -> "emp"
   | Substrate -> "substrate"
@@ -17,6 +18,7 @@ let layer_name = function
   | Engine -> "engine"
 
 let layer_index = function
+  | Net -> 7
   | Nic -> 0
   | Emp -> 1
   | Substrate -> 2

@@ -9,7 +9,7 @@
     timestamp. The buffer exports as a Chrome-trace JSON array loadable
     in chrome://tracing or Perfetto. *)
 
-type layer = Nic | Emp | Substrate | Tcpip | Collective | App | Engine
+type layer = Net | Nic | Emp | Substrate | Tcpip | Collective | App | Engine
 
 val layer_name : layer -> string
 

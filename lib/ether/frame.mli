@@ -11,6 +11,9 @@ type t = {
   dst : int;  (** destination station *)
   payload_len : int;  (** bytes of L2 payload (includes upper headers) *)
   payload : payload;
+  corrupted : bool;
+      (** payload bytes were damaged in flight; the receiving NIC's FCS
+          check will discard the frame (fault injection only) *)
 }
 
 val mtu : int
@@ -27,7 +30,13 @@ val overhead_bytes : int
     is not part of the frame proper. *)
 
 val make : src:int -> dst:int -> payload_len:int -> payload -> t
-(** @raise Invalid_argument if [payload_len] exceeds {!mtu}. *)
+(** @raise Invalid_argument if [payload_len] exceeds {!mtu}. Frames are
+    born uncorrupted. *)
+
+val corrupt : t -> t
+(** The same frame with damaged payload bytes (a bad FCS on arrival). *)
+
+val corrupted : t -> bool
 
 val wire_bytes : t -> int
 (** Total wire occupancy in bytes, including padding to the 64-byte

@@ -15,7 +15,12 @@ val create :
 (** Default rate is 1.0 bit/ns (Gigabit Ethernet); default propagation is
     500 ns (cable + PHY + serdes). *)
 
+val name : t -> string
 val set_receiver : t -> (Frame.t -> unit) -> unit
+
+val set_fault : t -> Uls_engine.Fault.t -> unit
+(** Consult the fault engine (keyed by this link's name) for every frame
+    sent; lost and damaged frames still occupy their wire time. *)
 
 val send : t -> Frame.t -> unit
 (** Enqueue a frame; does not block the caller. Delivery is dropped

@@ -31,3 +31,13 @@ let uplink t ~station = t.uplinks.(station)
 let send t frame = Link.send t.uplinks.(frame.Frame.src) frame
 let switch t = t.sw
 let set_fault_filter t f = Switch.set_fault_filter t.sw f
+
+let set_fault t fault =
+  (* Faults can strike on any hop: station uplinks ("uplink-<i>"), the
+     switch fabric ("sw-in-<port>") and the switch-to-station egress
+     links ("sw-egress-<i>"). Per-link plans key on those names. *)
+  Array.iter (fun link -> Link.set_fault link fault) t.uplinks;
+  Switch.set_fault t.sw fault;
+  for i = 0 to t.n - 1 do
+    Link.set_fault (Switch.egress t.sw ~port:i) fault
+  done

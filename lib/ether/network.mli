@@ -26,4 +26,11 @@ val send : t -> Frame.t -> unit
 (** Transmit on the frame's [src] station uplink. *)
 
 val switch : t -> Switch.t
+
+val set_fault : t -> Uls_engine.Fault.t -> unit
+(** Install a fault engine on every hop: station uplinks
+    (["uplink-<i>"]), switch ingress (["sw-in-<port>"]) and switch
+    egress links (["sw-egress-<i>"]). *)
+
 val set_fault_filter : t -> (Frame.t -> bool) -> unit
+(** Legacy boolean drop filter at switch ingress only. *)

@@ -7,11 +7,13 @@ type port = {
 
 type t = {
   sim : Sim.t;
+  metrics : Metrics.t;
+  trace : Trace.t;
   fwd_latency : Time.ns;
   queue_limit : int;
   ports : port array;
   mac_table : (int, int) Hashtbl.t; (* station id -> port *)
-  mutable fault : Frame.t -> bool;
+  mutable verdict : port:int -> Frame.t -> Fault.decision;
   mutable forwarded : int;
   mutable dropped : int;
 }
@@ -25,11 +27,13 @@ let create sim ?(fwd_latency = 2_500) ?(queue_limit = 262_144) ~ports () =
   in
   {
     sim;
+    metrics = Metrics.for_sim sim;
+    trace = Trace.for_sim sim;
     fwd_latency;
     queue_limit;
     ports = Array.init ports make_port;
     mac_table = Hashtbl.create 16;
-    fault = (fun _ -> false);
+    verdict = (fun ~port:_ _ -> Fault.Deliver);
     forwarded = 0;
     dropped = 0;
   }
@@ -41,17 +45,45 @@ let connect_station t ~port ~station handler =
   Hashtbl.replace t.mac_table station port;
   Link.set_receiver t.ports.(port).egress handler
 
-let set_fault_filter t f = t.fault <- f
+(* Legacy boolean filter: a [true] verdict is a plain drop, attributed
+   to the ["filter"] cause. *)
+let set_fault_filter t f =
+  t.verdict <-
+    (fun ~port:_ frame -> if f frame then Fault.Drop "filter" else Fault.Deliver)
+
+let set_fault t fault =
+  t.verdict <-
+    (fun ~port frame ->
+      Fault.decide fault
+        ~link:(Printf.sprintf "sw-in-%d" port)
+        ~src:frame.Frame.src ~dst:frame.Frame.dst)
+
 let frames_forwarded t = t.forwarded
 let frames_dropped t = t.dropped
 
+(* Every frame the switch loses is attributed to a cause, so a chaos run
+   can account for each missing frame: [switch.drop.unknown_dst] (MAC
+   table miss), [switch.drop.queue_full] (egress overflow) and
+   [switch.drop.fault] (injected). *)
+let drop t frame ~cause =
+  t.dropped <- t.dropped + 1;
+  Metrics.incr t.metrics ("switch.drop." ^ cause);
+  Trace.instant t.trace ~layer:Trace.Net "switch.drop"
+    ~args:
+      [
+        ("cause", cause);
+        ("src", string_of_int frame.Frame.src);
+        ("dst", string_of_int frame.Frame.dst);
+      ]
+
 let forward t frame =
   match Hashtbl.find_opt t.mac_table frame.Frame.dst with
-  | None -> t.dropped <- t.dropped + 1
+  | None -> drop t frame ~cause:"unknown_dst"
   | Some out ->
     let p = t.ports.(out) in
     let wire = Frame.wire_bytes frame in
-    if p.queued_bytes + wire > t.queue_limit then t.dropped <- t.dropped + 1
+    if p.queued_bytes + wire > t.queue_limit then
+      drop t frame ~cause:"queue_full"
     else begin
       p.queued_bytes <- p.queued_bytes + wire;
       t.forwarded <- t.forwarded + 1;
@@ -61,7 +93,18 @@ let forward t frame =
       Sim.at t.sim finish (fun () -> p.queued_bytes <- p.queued_bytes - wire)
     end
 
-let ingress t ~port:_ frame =
-  if t.fault frame then t.dropped <- t.dropped + 1
-  else
-    Sim.at t.sim (Sim.now t.sim + t.fwd_latency) (fun () -> forward t frame)
+let ingress t ~port frame =
+  let forward_after extra frame =
+    Sim.at t.sim (Sim.now t.sim + t.fwd_latency + extra) (fun () -> forward t frame)
+  in
+  match t.verdict ~port frame with
+  | Fault.Deliver -> forward_after 0 frame
+  | Fault.Drop cause ->
+    (* Injected drops all count as "fault"; the legacy boolean filter
+       keeps its own cause so old tests can tell them apart. *)
+    drop t frame ~cause:(if cause = "filter" then "filter" else "fault")
+  | Fault.Corrupt -> forward_after 0 (Frame.corrupt frame)
+  | Fault.Duplicate ->
+    forward_after 0 frame;
+    forward_after 0 frame
+  | Fault.Delay extra -> forward_after extra frame

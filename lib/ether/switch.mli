@@ -29,9 +29,18 @@ val ingress : t -> port:int -> Frame.t -> unit
     wired as the receiver of the station's uplink). Frames to unknown
     stations or overflowing queues are dropped. *)
 
+val set_fault : t -> Uls_engine.Fault.t -> unit
+(** Consult the fault engine at ingress (links keyed ["sw-in-<port>"])
+    and apply its verdict: drop, corrupt, duplicate or delay the frame
+    before forwarding. *)
+
 val set_fault_filter : t -> (Frame.t -> bool) -> unit
-(** Filter applied at ingress; returning [true] drops the frame. Used by
-    tests and loss-injection experiments. *)
+(** Legacy boolean filter applied at ingress; returning [true] drops the
+    frame (verdict [Drop "filter"]). Replaces any installed fault
+    engine verdict, and vice versa. *)
 
 val frames_forwarded : t -> int
+
 val frames_dropped : t -> int
+(** All causes. Per-cause counts are in the simulation's {!Metrics}
+    registry under ["switch.drop.{unknown_dst,queue_full,fault,filter}"]. *)

@@ -167,11 +167,24 @@ let create sim model net ~node =
     }
   in
   Uls_ether.Network.attach net ~station:node (fun frame ->
-      t.rx_frames <- t.rx_frames + 1;
-      Metrics.incr t.metrics ~node "nic.rx_frames";
-      match t.coll_classify frame with
-      | Some (src, tag) -> Mailbox.send t.fwd_queue (Fwd_arrive (src, tag, Some frame))
-      | None -> t.firmware_rx frame);
+      if Uls_ether.Frame.corrupted frame then begin
+        (* The MAC's FCS check fails on a damaged frame: it is discarded
+           in hardware, never reaching the firmware — but it did occupy
+           the wire, and the Rx MAC spends classify-equivalent time
+           before the checksum verdict. *)
+        Metrics.incr t.metrics ~node "nic.rx_crc_drop";
+        Trace.instant t.trace ~layer:Trace.Nic ~node "nic.rx_crc_drop";
+        ignore
+          (Resource.completion_after t.rx_cpu model.Cost_model.nic_rx_classify)
+      end
+      else begin
+        t.rx_frames <- t.rx_frames + 1;
+        Metrics.incr t.metrics ~node "nic.rx_frames";
+        match t.coll_classify frame with
+        | Some (src, tag) ->
+          Mailbox.send t.fwd_queue (Fwd_arrive (src, tag, Some frame))
+        | None -> t.firmware_rx frame
+      end);
   Sim.spawn sim ~name:(name "fwd") (fwd_fiber t);
   t
 

@@ -71,8 +71,12 @@ type t = {
   grant_slot : slot;
   close_slot : slot;
   rx_handles : (slot * E.recv) Mailbox.t;
-  rx_ready : ready Queue.t;
-  req_q : rdvz_req Queue.t;
+  rx_ready : (int, ready) Hashtbl.t;
+      (** keyed by sequence number: under loss, EMP messages complete out
+          of order (a retransmitted message finishes after its
+          successors), so the reader must look up the sequence it needs —
+          a FIFO head-peek would deadlock on the first reordering *)
+  req_q : (int, rdvz_req) Hashtbl.t;  (** same, for rendezvous requests *)
   mutable expected_seq : int;
   mutable consumed_since_ack : int;
   mutable ack_holdoff_armed : bool;
@@ -83,11 +87,16 @@ type t = {
       below it are still due and must be delivered before EOF (a short
       close message can physically overtake a long data message) *)
   mutable closed : bool;
+  mutable reset : bool;
+  (** the transport exhausted its retransmissions on a message of this
+      connection: the peer is unreachable, nothing further will be
+      delivered in either direction *)
   metrics : Metrics.t;
   trace : Trace.t;
 }
 
 exception Closed = Uls_api.Sockets_api.Connection_closed
+exception Reset = Uls_api.Sockets_api.Connection_reset
 
 let opts t = t.env.opts
 let sim t = Node.sim t.env.node
@@ -95,6 +104,8 @@ let node_id t = Node.id t.env.node
 let id t = t.id
 let local_addr t = t.local_addr
 let peer_addr t = t.peer_addr
+let peer_node t = t.peer_node
+let peer_conn t = t.peer_conn
 let set_peer t ~conn ~addr =
   t.peer_conn <- conn;
   t.peer_addr <- addr
@@ -136,6 +147,7 @@ let piggyback_credits t =
 
 let take_credit t =
   let rec wait () =
+    if t.reset then raise Reset;
     if t.closed || t.peer_closed then raise Closed;
     if t.credits = 0 then begin
       Cond.wait t.credits_c;
@@ -143,7 +155,7 @@ let take_credit t =
     end
     else t.credits <- t.credits - 1
   in
-  if t.credits = 0 && not (t.closed || t.peer_closed) then begin
+  if t.credits = 0 && not (t.closed || t.peer_closed || t.reset) then begin
     (* Writer stalled on flow control: account how long (§6.1). *)
     let t0 = Sim.now (sim t) in
     let id =
@@ -204,9 +216,9 @@ let rx_fiber t () =
           | Some spare -> repost_data_slot t spare
           | None -> ()
         end;
-        Queue.push
-          { rd_seq = seq; rd_slot = slot; rd_len = len - Options.header_bytes; rd_off = 0 }
-          t.rx_ready;
+        Hashtbl.replace t.rx_ready seq
+          { rd_seq = seq; rd_slot = slot;
+            rd_len = len - Options.header_bytes; rd_off = 0 };
         Cond.broadcast t.readable_c;
         t.env.notify ();
         loop ()
@@ -247,7 +259,7 @@ let uq_ack_fiber t () =
   let region = Memory.alloc 16 in
   Os.prepin (Node.os t.env.node) region;
   let rec loop () =
-    if t.closed then ()
+    if t.closed || t.reset then ()
     else if E.uq_has_match t.env.emp ~src:t.peer_node ~tag then begin
       let r = E.post_recv t.env.emp ~src:t.peer_node ~tag region ~off:0 ~len:16 in
       let len, _, _ = E.wait_recv t.env.emp r in
@@ -288,7 +300,7 @@ let req_fiber t () =
         (match Codec.decode_region t.req_slot.sl_region ~off:0 ~count:3 with
         | [ seq; rid; size ] ->
           ignore (post_slot t t.req_slot ~tag:(Tags.make Tags.Rdvz_request t.id));
-          Queue.push { rq_seq = seq; rq_id = rid; rq_size = size } t.req_q;
+          Hashtbl.replace t.req_q seq { rq_seq = seq; rq_id = rid; rq_size = size };
           Cond.broadcast t.readable_c;
           t.env.notify ()
         | _ ->
@@ -380,11 +392,12 @@ let rendezvous_write t data =
   in
   let t0 = Sim.now (sim t) in
   Cond.wait_until t.grant_c (fun () ->
-      t.closed || t.peer_closed || Hashtbl.mem t.granted rid);
+      t.closed || t.peer_closed || t.reset || Hashtbl.mem t.granted rid);
   Trace.span_end t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
     ~seq "sub.rdvz_grant_wait" grant_wait;
   Metrics.observe t.metrics ~node:(node_id t) "sub.rdvz_grant_wait_us"
     (float_of_int (Sim.now (sim t) - t0) /. 1_000.);
+  if t.reset then raise Reset;
   if not (Hashtbl.mem t.granted rid) then raise Closed;
   Hashtbl.remove t.granted rid;
   if t.closed || t.peer_closed then raise Closed;
@@ -417,7 +430,9 @@ let eager_write t data =
            acknowledged (credits fully restored) — a round trip per
            message. *)
         Cond.wait_until t.credits_c (fun () ->
-            t.closed || t.peer_closed || t.credits = o.Options.credits);
+            t.closed || t.peer_closed || t.reset
+            || t.credits = o.Options.credits);
+        if t.reset then raise Reset;
         if t.closed || t.peer_closed then raise Closed
       end;
       chunks (off + n)
@@ -436,6 +451,7 @@ let uses_rendezvous t len =
     | Options.Data_streaming -> false)
 
 let write t data =
+  if t.reset then raise Reset;
   if t.closed || t.peer_closed then raise Closed;
   if t.peer_conn < 0 then raise Closed;
   if String.length data > 0 then begin
@@ -460,13 +476,19 @@ type next_item =
   | Rdvz of rdvz_req
 
 let next_item t =
-  let eager = Queue.peek_opt t.rx_ready in
-  let rdvz = Queue.peek_opt t.req_q in
-  match (eager, rdvz) with
-  | Some r, _ when r.rd_seq = t.expected_seq -> Eager_msg r
-  | _, Some q when q.rq_seq = t.expected_seq -> Rdvz q
-  | None, None when t.peer_closed && t.expected_seq >= t.close_seq -> Eof
-  | _ -> Nothing
+  match Hashtbl.find_opt t.rx_ready t.expected_seq with
+  | Some r -> Eager_msg r
+  | None -> (
+    match Hashtbl.find_opt t.req_q t.expected_seq with
+    | Some q -> Rdvz q
+    | None ->
+      if
+        Hashtbl.length t.rx_ready = 0
+        && Hashtbl.length t.req_q = 0
+        && t.peer_closed
+        && t.expected_seq >= t.close_seq
+      then Eof
+      else Nothing)
 
 (* With piggy-backing on, hold the explicit ack briefly: a reverse-
    direction write inside the holdoff carries the credits for free
@@ -492,8 +514,9 @@ let ack_due t =
   end
   else send_credit_ack t
 
-let message_consumed t slot =
-  ignore (Queue.pop t.rx_ready);
+let message_consumed t r =
+  let slot = r.rd_slot in
+  Hashtbl.remove t.rx_ready r.rd_seq;
   t.expected_seq <- t.expected_seq + 1;
   if (opts t).Options.scheme = Options.Comm_thread then
     (* No credits/acks: the comm thread reposts the freed buffer so a
@@ -519,19 +542,19 @@ let read_eager t r n =
       copy_out t r.rd_slot.sl_region ~off:(Options.header_bytes + r.rd_off) ~len:m
     in
     r.rd_off <- r.rd_off + m;
-    if r.rd_off = r.rd_len then message_consumed t r.rd_slot;
+    if r.rd_off = r.rd_len then message_consumed t r;
     s
   | Options.Datagram ->
     let m = min n r.rd_len in
     let s = copy_out t r.rd_slot.sl_region ~off:Options.header_bytes ~len:m in
-    message_consumed t r.rd_slot;
+    message_consumed t r;
     s
 
 (* Rendezvous receive: post the user buffer directly (zero-copy: the NIC
    DMAs into it), grant, and wait for the data. The reusable rdvz_rx
    region models the application's own receive buffer. *)
 let read_rdvz t (q : rdvz_req) n =
-  ignore (Queue.pop t.req_q);
+  Hashtbl.remove t.req_q q.rq_seq;
   let streaming = (opts t).Options.mode = Options.Data_streaming in
   (* Datagram semantics truncate to the reader's buffer; streaming must
      not lose bytes, so receive the whole message and keep the tail for
@@ -581,6 +604,7 @@ let read t n =
       "sub.read" (fun () ->
         Node.compute t.env.node (opts t).Options.read_overhead;
         let rec wait () =
+          if t.reset then raise Reset;
           if t.closed then raise Closed;
           if t.rdvz_leftover <> "" then read_leftover t n
           else
@@ -599,7 +623,7 @@ let read t n =
         s)
 
 let readable t =
-  t.closed || t.peer_closed || t.rdvz_leftover <> ""
+  t.closed || t.peer_closed || t.reset || t.rdvz_leftover <> ""
   || (match next_item t with Nothing -> false | _ -> true)
 
 (* --- lifecycle ---------------------------------------------------------- *)
@@ -628,21 +652,61 @@ let unpost_everything t =
   in
   drain ()
 
+(* The "closed" message is load-bearing: if the peer never hears it, the
+   peer's 2N+3 descriptors stay posted forever (§5.3's leak). EMP already
+   retransmits each attempt up to its own retry budget; this fiber
+   re-issues the whole send a few more times with backoff in case an
+   attempt exhausts it under heavy loss. *)
+let close_notify_attempts = 5
+
+let close_notify_fiber t seq () =
+  let tag = Tags.make Tags.Close t.peer_conn in
+  let rec attempt n backoff =
+    if (not t.peer_closed) && n <= close_notify_attempts then begin
+      let s = Sendpool.send t.env.ctrl_pool ~dst:t.peer_node ~tag
+          (Codec.encode [ seq ])
+      in
+      match E.wait_send t.env.emp s with
+      | () -> ()
+      | exception E.Send_failed _ ->
+        Metrics.incr t.metrics ~node:(node_id t) "sub.close_retries";
+        Trace.instant t.trace ~layer:Trace.Substrate ~node:(node_id t)
+          ~conn:t.id "sub.close_retry"
+          ~args:[ ("attempt", string_of_int n) ];
+        Sim.delay (sim t) backoff;
+        attempt (n + 1) (2 * backoff)
+    end
+  in
+  attempt 1 (Time.ms 1)
+
 let close t =
   if not t.closed then begin
     t.closed <- true;
     Trace.instant t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
       "sub.close";
-    if t.peer_conn >= 0 && not t.peer_closed then
-      post_ctrl t
-        ~tag:(Tags.make Tags.Close t.peer_conn)
-        (Codec.encode [ t.next_seq ]);
+    if t.peer_conn >= 0 && not t.peer_closed && not t.reset then
+      Sim.spawn (sim t) ~name:"sub-close-notify"
+        (close_notify_fiber t t.next_seq);
     unpost_everything t;
     wake_all t;
     (* Wake the UQ ack fiber so it observes [closed] and exits. *)
     Cond.broadcast (E.uq_arrival_cond t.env.emp);
     t.env.release_id t.id
   end
+
+let mark_reset t =
+  if not (t.closed || t.reset) then begin
+    t.reset <- true;
+    Metrics.incr t.metrics ~node:(node_id t) "sub.resets";
+    Trace.instant t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
+      "sub.reset";
+    unpost_everything t;
+    wake_all t;
+    Cond.broadcast (E.uq_arrival_cond t.env.emp);
+    t.env.release_id t.id
+  end
+
+let is_reset t = t.reset
 
 let create env ~id ~peer_node ~peer_conn ~local_addr ~peer_addr =
   let opts = env.opts in
@@ -693,8 +757,8 @@ let create env ~id ~peer_node ~peer_conn ~local_addr ~peer_addr =
       grant_slot = mk_slot 64;
       close_slot = mk_slot 16;
       rx_handles = Mailbox.create (Node.sim env.node);
-      rx_ready = Queue.create ();
-      req_q = Queue.create ();
+      rx_ready = Hashtbl.create 64;
+      req_q = Hashtbl.create 16;
       expected_seq = 0;
       consumed_since_ack = 0;
       ack_holdoff_armed = false;
@@ -702,6 +766,7 @@ let create env ~id ~peer_node ~peer_conn ~local_addr ~peer_addr =
       peer_closed = false;
       close_seq = max_int;
       closed = false;
+      reset = false;
       metrics = Metrics.for_sim (Node.sim env.node);
       trace = Trace.for_sim (Node.sim env.node);
     }

@@ -40,6 +40,12 @@ val create :
 val id : t -> int
 val local_addr : t -> Uls_api.Sockets_api.addr
 val peer_addr : t -> Uls_api.Sockets_api.addr
+val peer_node : t -> int
+val peer_conn : t -> int
+(** Peer-side connection id; [-1] until {!set_peer}. The substrate's
+    send-failure handler uses [(peer_node, peer_conn)] to route a failed
+    send's tag back to its connection. *)
+
 val set_peer : t -> conn:int -> addr:Uls_api.Sockets_api.addr -> unit
 
 val write : t -> string -> unit
@@ -53,4 +59,15 @@ val read : t -> int -> string
 val readable : t -> bool
 val close : t -> unit
 (** Sends the "closed" control message (sequence-numbered so it cannot
-    overtake in-flight data) and unposts every descriptor. Idempotent. *)
+    overtake in-flight data) and unposts every descriptor. The message is
+    retransmitted with backoff if EMP exhausts its retries — a peer that
+    never hears it would keep its descriptors posted forever. Idempotent. *)
+
+val mark_reset : t -> unit
+(** The transport gave up on a message of this connection (peer
+    unreachable): unposts every descriptor, wakes all blocked fibers, and
+    makes subsequent {!read}/{!write} raise
+    [Uls_api.Sockets_api.Connection_reset]. Idempotent; no-op after
+    {!close}. *)
+
+val is_reset : t -> bool

@@ -35,6 +35,11 @@ type t = {
   write_overhead : Uls_engine.Time.ns;  (** substrate bookkeeping per write *)
   read_overhead : Uls_engine.Time.ns;
   connect_timeout : Uls_engine.Time.ns;
+  connect_attempts : int;
+      (** connection requests resent before giving up: the request (or
+          its reply) can be lost on the wire, and connection setup has
+          no EMP descriptor waiting on the server until [listen] ran.
+          Each attempt doubles the previous wait (exponential backoff). *)
   backlog_request_bytes : int;
 }
 
@@ -56,6 +61,7 @@ let data_streaming =
     write_overhead = 1_500;
     read_overhead = 1_800;
     connect_timeout = Uls_engine.Time.ms 50;
+    connect_attempts = 4;
     backlog_request_bytes = 64;
   }
 

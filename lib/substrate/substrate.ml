@@ -31,6 +31,11 @@ type t = {
   ctrl_pool : Sendpool.t;
   conns : (int, Conn.t) Hashtbl.t;
   listeners : (int, listener) Hashtbl.t;
+  accepted : (int * int, int) Hashtbl.t;
+      (** (client node, client conn id) -> server conn id, for every live
+          accepted connection: a client that never heard our reply resends
+          its request, which must re-answer — not build a second
+          connection *)
   activity : Cond.t;
   mutable next_id : int;
   mutable next_eport : int;
@@ -43,20 +48,78 @@ let options t = t.opts
 let emp t = t.emp
 let active_connections t = Hashtbl.length t.conns
 
+(* A send that exhausted every retransmission round names a dead
+   connection: route the failed message's tag back to the connection that
+   owns it (our conn whose peer is [(dst, id)]) and reset it, so blocked
+   readers and writers surface [Connection_reset] instead of hanging.
+   Connection-setup tags are excluded — [connect] has its own
+   timeout-and-retry and no connection to reset yet. *)
+let on_send_failure t ~dst ~tag ~retries:_ =
+  match Tags.split tag with
+  | (Tags.Conn_request | Tags.Conn_reply), _ -> ()
+  | _, peer_id ->
+    let victims =
+      Hashtbl.fold
+        (fun _ c acc ->
+          if Conn.peer_node c = dst && Conn.peer_conn c = peer_id then c :: acc
+          else acc)
+        t.conns []
+    in
+    List.iter Conn.mark_reset victims
+
+(* With the unexpected queue on, a connection request aimed at a port
+   nobody listens on completes into the UQ instead of being dropped —
+   scan for those and answer with an explicit refusal ([-1] in the reply)
+   so the client fails fast instead of burning its retry budget. *)
+let refusal_fiber t () =
+  let orphan ~src:_ ~tag =
+    match Tags.split tag with
+    | Tags.Conn_request, port -> not (Hashtbl.mem t.listeners port)
+    | _ -> false
+  in
+  let rec loop () =
+    (match E.uq_take t.emp ~pred:orphan with
+    | Some (data, _, _) when String.length data >= 3 * Codec.int_bytes -> (
+      match Codec.decode ~count:3 data with
+      | [ rq_node; rq_conn; _rq_port ] when rq_conn >= 0 && rq_conn <= Tags.max_id
+        ->
+        Metrics.incr (Metrics.for_sim (sim t)) ~node:(node_id t)
+          "sub.refusals_sent";
+        Trace.instant (Trace.for_sim (sim t)) ~layer:Trace.Substrate
+          ~node:(node_id t) "sub.refuse"
+          ~args:[ ("peer", string_of_int rq_node) ];
+        ignore
+          (Sendpool.send t.ctrl_pool ~dst:rq_node
+             ~tag:(Tags.make Tags.Conn_reply rq_conn)
+             (Codec.encode [ -1 ]))
+      | _ -> ())
+    | Some _ -> ()
+    | None -> Cond.wait (E.uq_arrival_cond t.emp));
+    loop ()
+  in
+  loop ()
+
 let create ?(opts = Options.data_streaming_enhanced) node emp =
   if opts.Options.unexpected_queue then
     E.provision_unexpected emp ~slots:((4 * opts.Options.credits) + 32) ~size:64;
-  {
-    node;
-    emp;
-    opts;
-    ctrl_pool = Sendpool.create node emp ~slots:64 ~size:256;
-    conns = Hashtbl.create 32;
-    listeners = Hashtbl.create 8;
-    activity = Cond.create (Node.sim node);
-    next_id = 0;
-    next_eport = 40_000;
-  }
+  let t =
+    {
+      node;
+      emp;
+      opts;
+      ctrl_pool = Sendpool.create node emp ~slots:64 ~size:256;
+      conns = Hashtbl.create 32;
+      listeners = Hashtbl.create 8;
+      accepted = Hashtbl.create 32;
+      activity = Cond.create (Node.sim node);
+      next_id = 0;
+      next_eport = 40_000;
+    }
+  in
+  E.set_send_failure_handler emp (on_send_failure t);
+  if opts.Options.unexpected_queue then
+    Sim.spawn (Node.sim node) ~name:"sub-refuse" (refusal_fiber t);
+  t
 
 let alloc_id t =
   let rec search tries =
@@ -73,7 +136,17 @@ let conn_env t =
     opts = t.opts;
     ctrl_pool = t.ctrl_pool;
     notify = (fun () -> Cond.broadcast t.activity);
-    release_id = (fun id -> Hashtbl.remove t.conns id);
+    release_id =
+      (fun id ->
+        Hashtbl.remove t.conns id;
+        (* Drop the accept-dedup binding too, or a recycled conn id
+           would answer a stranger's retried request. *)
+        let stale =
+          Hashtbl.fold
+            (fun k v acc -> if v = id then k :: acc else acc)
+            t.accepted []
+        in
+        List.iter (Hashtbl.remove t.accepted) stale);
   }
 
 (* --- listen / accept -------------------------------------------------- *)
@@ -150,6 +223,21 @@ let rec accept t l =
     Cond.wait t.activity;
     accept t l
   | Some rq ->
+  match Hashtbl.find_opt t.accepted (rq.rq_node, rq.rq_conn) with
+  | Some id when Hashtbl.mem t.conns id ->
+    (* The client retried because our reply was lost: resend it for the
+       connection already built, and wait for the next fresh request. *)
+    Metrics.incr (Metrics.for_sim (sim t)) ~node:(node_id t)
+      "sub.accept_dups";
+    Trace.instant (Trace.for_sim (sim t)) ~layer:Trace.Substrate
+      ~node:(node_id t) ~conn:id "sub.accept_dup"
+      ~args:[ ("peer", string_of_int rq.rq_node) ];
+    ignore
+      (Sendpool.send t.ctrl_pool ~dst:rq.rq_node
+         ~tag:(Tags.make Tags.Conn_reply rq.rq_conn)
+         (Codec.encode [ id ]));
+    accept t l
+  | _ ->
   let id = alloc_id t in
   let peer_addr = { Uls_api.Sockets_api.node = rq.rq_node; port = rq.rq_port } in
   let conn =
@@ -158,6 +246,7 @@ let rec accept t l =
       ~peer_addr
   in
   Hashtbl.replace t.conns id conn;
+  Hashtbl.replace t.accepted (rq.rq_node, rq.rq_conn) id;
   Metrics.incr (Metrics.for_sim (sim t)) ~node:(node_id t) "sub.accepts";
   Trace.instant (Trace.for_sim (sim t)) ~layer:Trace.Substrate
     ~node:(node_id t) ~conn:id "sub.accept"
@@ -190,6 +279,7 @@ let close_listener t l =
 (* --- connect ----------------------------------------------------------- *)
 
 exception Refused = Uls_api.Sockets_api.Connection_refused
+exception Timed_out = Uls_api.Sockets_api.Connection_timeout
 
 let connect_blocking t (server : Uls_api.Sockets_api.addr) =
   let id = alloc_id t in
@@ -200,7 +290,7 @@ let connect_blocking t (server : Uls_api.Sockets_api.addr) =
       ~local_addr:local ~peer_addr:server
   in
   Hashtbl.replace t.conns id conn;
-  (* Pre-post the reply descriptor, then send the connection request. *)
+  (* Pre-post the reply descriptor; it stays posted across retries. *)
   let reply_region = Memory.alloc 16 in
   Os.prepin (Node.os t.node) reply_region;
   let reply =
@@ -208,23 +298,50 @@ let connect_blocking t (server : Uls_api.Sockets_api.addr) =
       ~tag:(Tags.make Tags.Conn_reply id)
       reply_region ~off:0 ~len:16
   in
-  ignore
-    (Sendpool.send t.ctrl_pool ~dst:server.node
-       ~tag:(Tags.make Tags.Conn_request server.port)
-       (Codec.encode [ node_id t; id; local.port ]));
-  match E.wait_recv_timeout t.emp reply t.opts.Options.connect_timeout with
-  | Some (len, _, _) when len >= Codec.int_bytes ->
-    (match Codec.decode_region reply_region ~off:0 ~count:1 with
-    | [ server_conn ] ->
-      Conn.set_peer conn ~conn:server_conn ~addr:server;
-      conn
-    | _ ->
-      Codec.protocol_error "connect to node %d port %d: undecodable accept reply"
-        server.Uls_api.Sockets_api.node server.Uls_api.Sockets_api.port)
-  | _ ->
+  (* Failure must not leak: the reply descriptor is unposted and the
+     half-built connection torn down (removing it from the active-socket
+     table) before the exception escapes. *)
+  let give_up exn =
     ignore (E.unpost_recv t.emp reply);
     Conn.close conn;
-    raise (Refused server)
+    raise exn
+  in
+  let attempts = max 1 t.opts.Options.connect_attempts in
+  (* The request (or its reply) can be lost: resend with exponential
+     backoff. A reply of [-1] is an explicit refusal — final, no retry;
+     exhausting the attempts without any reply is a timeout — the caller
+     may retry later (the server may simply not have listened yet). *)
+  let rec attempt n timeout =
+    if n > 1 then begin
+      Metrics.incr (Metrics.for_sim (sim t)) ~node:(node_id t)
+        "sub.connect_retries";
+      Trace.instant (Trace.for_sim (sim t)) ~layer:Trace.Substrate
+        ~node:(node_id t) ~conn:id "sub.connect_retry"
+        ~args:[ ("attempt", string_of_int n) ]
+    end;
+    ignore
+      (Sendpool.send t.ctrl_pool ~dst:server.node
+         ~tag:(Tags.make Tags.Conn_request server.port)
+         (Codec.encode [ node_id t; id; local.port ]));
+    match E.wait_recv_timeout t.emp reply timeout with
+    | Some (len, _, _) when len >= Codec.int_bytes ->
+      (match Codec.decode_region reply_region ~off:0 ~count:1 with
+      | [ server_conn ] when server_conn >= 0 ->
+        Conn.set_peer conn ~conn:server_conn ~addr:server;
+        conn
+      | [ _refused ] -> give_up (Refused server)
+      | _ ->
+        Codec.protocol_error
+          "connect to node %d port %d: undecodable accept reply"
+          server.Uls_api.Sockets_api.node server.Uls_api.Sockets_api.port)
+    | Some _ ->
+      Codec.protocol_error "connect to node %d port %d: truncated accept reply"
+        server.Uls_api.Sockets_api.node server.Uls_api.Sockets_api.port
+    | None ->
+      if n < attempts then attempt (n + 1) (2 * timeout)
+      else give_up (Timed_out server)
+  in
+  attempt 1 t.opts.Options.connect_timeout
 
 let connect t (server : Uls_api.Sockets_api.addr) =
   if server.port < 0 || server.port > Tags.max_id then

@@ -41,8 +41,17 @@ val acceptable : listener -> bool
 val close_listener : t -> listener -> unit
 
 val connect : t -> Uls_api.Sockets_api.addr -> Conn.t
-(** Send the connection request and wait for the server's reply.
-    @raise Uls_api.Sockets_api.Connection_refused on timeout. *)
+(** Send the connection request and wait for the server's reply,
+    resending with exponential backoff up to
+    [Options.connect_attempts] times (the request or its reply can be
+    lost on the wire). The server deduplicates retried requests against
+    its accepted table, so a lost reply never yields two connections.
+    @raise Uls_api.Sockets_api.Connection_refused when the server
+    explicitly declines (no listener on the port — detected by the
+    server's unexpected-queue refusal scanner when the UQ option is on).
+    @raise Uls_api.Sockets_api.Connection_timeout when every attempt
+    went unanswered; on either failure the half-built connection is torn
+    down and removed from the active-socket table. *)
 
 val stream_of_conn : Conn.t -> Uls_api.Sockets_api.stream
 

@@ -24,8 +24,31 @@ let kind_code = function
   | Rdvz_data -> 6
   | Close -> 7
 
+let kind_of_code = function
+  | 0 -> Conn_request
+  | 1 -> Conn_reply
+  | 2 -> Data
+  | 3 -> Credit_ack
+  | 4 -> Rdvz_request
+  | 5 -> Rdvz_grant
+  | 6 -> Rdvz_data
+  | 7 -> Close
+  | c -> invalid_arg (Printf.sprintf "Tags.kind_of_code: %d" c)
+
+let kind_name = function
+  | Conn_request -> "conn_request"
+  | Conn_reply -> "conn_reply"
+  | Data -> "data"
+  | Credit_ack -> "credit_ack"
+  | Rdvz_request -> "rdvz_request"
+  | Rdvz_grant -> "rdvz_grant"
+  | Rdvz_data -> "rdvz_data"
+  | Close -> "close"
+
 let max_id = 0xFFF
 
 let make kind id =
   if id < 0 || id > max_id then invalid_arg "Tags.make: id out of range";
   (kind_code kind lsl 12) lor id
+
+let split tag = (kind_of_code ((tag lsr 12) land 0xF), tag land max_id)

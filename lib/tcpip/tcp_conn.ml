@@ -234,6 +234,9 @@ let can_send_fin t =
 let rewind t =
   if in_flight t > 0 then begin
     t.retransmits <- t.retransmits + 1;
+    Metrics.incr
+      (Metrics.for_sim (sim t))
+      ~node:(Node.id t.env.node) "tcp.retransmits";
     on_loss t;
     (* Go-back-N: resend from the cumulative ack point. FIN, if it was
        sent, will be re-emitted after the data. *)
