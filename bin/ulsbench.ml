@@ -193,6 +193,190 @@ let chaos_cmd =
           any run hangs or delivers corrupt bytes")
     Term.(const run $ stacks $ seed $ total $ msg $ rates)
 
+(* --- serve -------------------------------------------------------------- *)
+
+let serve_cmd =
+  let open Uls_bench in
+  let stack =
+    Arg.(value & opt stack_conv `Ds & info [ "stack" ] ~docv:"STACK"
+           ~doc:"tcp | tcp-tuned | ds | ds-base | dg. For serving, ds maps \
+                 to the substrate's server preset (small per-connection \
+                 buffers, piggy-backed acks).")
+  in
+  let serve_kind = function
+    | `Emp ->
+      prerr_endline "ulsbench serve: raw EMP has no sockets stream; use ds/dg";
+      exit 124
+    | `Tcp -> Chaos.Tcp Uls_tcp.Config.default
+    | `Tcp_tuned -> Chaos.Tcp Uls_tcp.Config.(with_buffers default 262_144)
+    | `Ds -> Chaos.Sub Uls_substrate.Options.server
+    | `Ds_base -> Chaos.Sub Uls_substrate.Options.data_streaming
+    | `Dg -> Chaos.Sub Uls_substrate.Options.datagram
+  in
+  let workload_conv =
+    let parse = function
+      | "echo" -> Ok Load.Echo
+      | "http" -> Ok Load.Http
+      | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
+    in
+    let print fmt w =
+      Format.pp_print_string fmt
+        (match w with Load.Echo -> "echo" | Load.Http -> "http")
+    in
+    Arg.conv (parse, print)
+  in
+  let conns =
+    Arg.(value & opt int 64 & info [ "conns" ] ~docv:"N"
+           ~doc:"Concurrent client connections.")
+  in
+  let requests =
+    Arg.(value & opt int 8 & info [ "requests" ] ~docv:"N"
+           ~doc:"Requests per connection.")
+  in
+  let size =
+    Arg.(value & opt int 512 & info [ "size" ] ~docv:"BYTES"
+           ~doc:"Echo payload / HTTP response-body size.")
+  in
+  let workload =
+    Arg.(value & opt workload_conv Load.Echo & info [ "workload" ]
+           ~docv:"W" ~doc:"echo | http")
+  in
+  let open_loop =
+    Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"REQ/S"
+           ~doc:"Open-loop arrival rate (requests/s, fleet-wide). \
+                 Without it the fleet runs closed-loop.")
+  in
+  let think =
+    Arg.(value & opt float 0. & info [ "think" ] ~docv:"US"
+           ~doc:"Mean think time between requests (us, closed loop).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+                    ~doc:"Rng seed; same seed, same run.") in
+  let loss =
+    Arg.(value & opt float 0. & info [ "loss" ] ~docv:"P"
+           ~doc:"Uniform frame-loss probability (fault engine).")
+  in
+  let clients =
+    Arg.(value & opt int 0 & info [ "clients" ] ~docv:"N"
+           ~doc:"Client nodes the fleet spreads over (0 = auto).")
+  in
+  let backlog =
+    Arg.(value & opt int 0 & info [ "backlog" ] ~docv:"N"
+           ~doc:"Server listen backlog (0 = auto).")
+  in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N"
+           ~doc:"Scheduler worker fibers.")
+  in
+  let max_inflight =
+    Arg.(value & opt int 0 & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"Admission limit; accepts beyond it are shed with an \
+                 explicit reject (0 = unlimited).")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"CI mode: pinned-seed runs over ds and tcp, echo and http, \
+                 plus a determinism double-run; non-zero exit on any hang, \
+                 lost request, mismatch or divergence.")
+  in
+  let build_config stack workload open_loop ~conns ~requests ~size ~think
+      ~seed ~loss ~clients ~backlog ~workers ~max_inflight =
+    let kind = serve_kind stack in
+    let client_nodes =
+      if clients > 0 then clients else max 2 (min 8 ((conns + 511) / 512))
+    in
+    let backlog = if backlog > 0 then backlog else max 64 (min conns 1024) in
+    let sched =
+      if workers = Uls_server.Sched.default_config.workers && max_inflight = 0
+      then None
+      else
+        Some
+          {
+            Uls_server.Sched.default_config with
+            workers;
+            max_inflight = (if max_inflight = 0 then max_int else max_inflight);
+            reject =
+              (match workload with
+              | Load.Http -> Some Uls_server.Server.http_reject
+              | Load.Echo -> None);
+          }
+    in
+    {
+      Load.kind;
+      workload;
+      loop = (match open_loop with None -> Load.Closed | Some r -> Load.Open r);
+      conns;
+      requests_per_conn = requests;
+      size;
+      think = think *. 1e3;
+      seed;
+      loss;
+      client_nodes;
+      backlog;
+      sched;
+    }
+  in
+  let run_one ?on_metrics cfg =
+    let r = Load.run ?on_metrics cfg in
+    Load.print_report Format.std_formatter cfg r;
+    r
+  in
+  let run stack conns requests size workload open_loop think seed loss clients
+      backlog workers max_inflight smoke metrics =
+    let on_metrics = if metrics then Some dump_metrics else None in
+    if smoke then begin
+      (* Pinned-seed CI matrix; flags other than --metrics are ignored. *)
+      let failures = ref 0 in
+      let smoke_config stack workload =
+        build_config stack workload None ~conns:128 ~requests:4 ~size:256
+          ~think:0. ~seed:42 ~loss:0. ~clients:2 ~backlog:0 ~workers:4
+          ~max_inflight:0
+      in
+      let check r =
+        if
+          not
+            (r.Load.completed_run && r.Load.intact && r.Load.errors = 0
+           && r.Load.refused = 0 && r.Load.mismatches = 0
+           && r.Load.completed = r.Load.sent)
+        then incr failures
+      in
+      List.iter
+        (fun (st, w) -> check (run_one ?on_metrics (smoke_config st w)))
+        [ (`Ds, Load.Echo); (`Ds, Load.Http); (`Tcp, Load.Echo);
+          (`Tcp, Load.Http) ];
+      (* Determinism: same seed, byte-identical report. *)
+      let cfg = smoke_config `Ds Load.Echo in
+      let a = Load.run cfg and b = Load.run cfg in
+      check a;
+      if a <> b then begin
+        prerr_endline "ulsbench serve --smoke: seeded runs diverged";
+        incr failures
+      end;
+      if !failures > 0 then begin
+        Printf.eprintf "ulsbench serve --smoke: %d failure(s)\n" !failures;
+        exit 1
+      end;
+      print_endline "serve smoke: ok"
+    end
+    else begin
+      let cfg =
+        build_config stack workload open_loop ~conns ~requests ~size ~think
+          ~seed ~loss ~clients ~backlog ~workers ~max_inflight
+      in
+      let r = run_one ?on_metrics cfg in
+      if not (r.Load.completed_run && r.Load.intact) then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Event-driven server under a client fleet: echo or keep-alive \
+          HTTP over the readiness engine + connection scheduler, driven \
+          open- or closed-loop; prints throughput and latency percentiles")
+    Term.(const run $ stack $ conns $ requests $ size $ workload $ open_loop
+          $ think $ seed $ loss $ clients $ backlog $ workers $ max_inflight
+          $ smoke $ metrics_flag)
+
 (* --- trace -------------------------------------------------------------- *)
 
 let trace_cmd =
@@ -374,5 +558,6 @@ let () =
             bandwidth_cmd;
             collective_cmd;
             chaos_cmd;
+            serve_cmd;
             trace_cmd;
           ]))

@@ -14,13 +14,17 @@ type stream = {
   recv : int -> string;
   close : unit -> unit;
   readable : unit -> bool;
+  watch : (unit -> unit) -> unit;
   peer : unit -> addr;
   local : unit -> addr;
 }
 
 type listener = {
   accept : unit -> stream * addr;
+  try_accept : unit -> (stream * addr) option;
   acceptable : unit -> bool;
+  watch_accept : (unit -> unit) -> unit;
+  pending : unit -> int;
   close_listener : unit -> unit;
 }
 

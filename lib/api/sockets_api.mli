@@ -40,13 +40,38 @@ type stream = {
   recv : int -> string;  (** blocking; 1..n bytes, [""] = end of stream *)
   close : unit -> unit;
   readable : unit -> bool;  (** data available: [recv] would not block *)
+  watch : (unit -> unit) -> unit;
+      (** Register a readiness watcher: the callback fires (from the
+          stack's internal fibers) every time the stream {e may} have
+          become readable — data arrival, end of stream, reset. Spurious
+          invocations are allowed; watchers persist for the life of the
+          stream and cannot be unregistered (wrap the callback if it must
+          be disarmed). This is the per-connection notification path the
+          event engine ({!Uls_server.Evq}) builds its O(ready) wakeups
+          on, in contrast to the O(registered) scan of {!stack.select}. *)
   peer : unit -> addr;
   local : unit -> addr;
 }
 
 type listener = {
   accept : unit -> stream * addr;  (** blocking *)
+  try_accept : unit -> (stream * addr) option;
+      (** Non-blocking accept: [None] when nothing fresh is queued.
+          Stacks resolve protocol-level duplicates (e.g. a retried
+          connect whose reply was lost) internally, so — unlike guarding
+          a blocking [accept] with [acceptable] — this never blocks. An
+          event-driven accept loop must drain with this. *)
   acceptable : unit -> bool;  (** a connection is waiting *)
+  watch_accept : (unit -> unit) -> unit;
+      (** Readiness watcher for the accept queue: fires whenever a new
+          connection is queued (and when the listener closes), with the
+          same spurious-call contract as {!stream.watch}. This makes
+          listener readiness reachable from the portable API, so a
+          server can multiplex accept with stream I/O in one event
+          engine instead of dedicating a fiber to [accept]. *)
+  pending : unit -> int;
+      (** Connections queued and waiting to be accepted (the backlog
+          occupancy a server's accept-path gauge reports). *)
   close_listener : unit -> unit;
 }
 

@@ -6,13 +6,14 @@ type config = {
   ack_window : int;
   tx_window : int;
   rto : Time.ns;
+  max_rto : Time.ns;
   max_retries : int;
   use_nacks : bool;  (* gap-triggered NACK frames for fast loss recovery *)
 }
 
 let default_config =
-  { ack_window = 4; tx_window = 64; rto = Time.ms 2; max_retries = 20;
-    use_nacks = true }
+  { ack_window = 4; tx_window = 64; rto = Time.ms 2; max_rto = Time.ms 200;
+    max_retries = 20; use_nacks = true }
 
 type send = {
   s_key : Wire.msg_key;
@@ -197,7 +198,7 @@ let tx_fiber t st () =
       Trace.instant t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.rto_rewind"
         ~args:[ ("frames", string_of_int (st.s_next - st.s_acked)) ];
       st.s_next <- st.s_acked;
-      st.s_rto <- min (2 * st.s_rto) (Time.ms 5)
+      st.s_rto <- min (2 * st.s_rto) t.cfg.max_rto
     end
   in
   let rec drive () =

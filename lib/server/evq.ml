@@ -1,0 +1,123 @@
+(** Epoll-style readiness engine: watcher callbacks push handles onto a
+    ready queue; [wait] returns batches in O(ready). See the .mli for
+    the triggering semantics. *)
+
+open Uls_engine
+
+type trigger = Level | Edge
+
+type 'a t = {
+  node : int;
+  metrics : Metrics.t;
+  ready : 'a handle Queue.t;
+  cond : Cond.t;
+  mutable kicked : bool;
+  mutable last_batch : 'a handle list;
+      (* previous wait's delivery, re-checked (O(batch)) to re-arm
+         still-readable level-triggered handles *)
+  mutable n_registered : int;
+}
+
+and 'a handle = {
+  h_q : 'a t;
+  h_payload : 'a;
+  h_readable : unit -> bool;
+  mutable h_mode : trigger;
+  mutable h_queued : bool;
+  mutable h_registered : bool;
+}
+
+let create sim ~node =
+  {
+    node;
+    metrics = Metrics.for_sim sim;
+    ready = Queue.create ();
+    cond = Cond.create sim;
+    kicked = false;
+    last_batch = [];
+    n_registered = 0;
+  }
+
+let payload h = h.h_payload
+let registered t = t.n_registered
+
+let enqueue t h =
+  h.h_queued <- true;
+  Queue.push h t.ready;
+  Cond.broadcast t.cond
+
+(* The watcher callback: runs in whatever fiber made the socket ready.
+   Dedup via h_queued keeps the ready queue O(registered) worst case and
+   each wake-up O(1). *)
+let on_event h =
+  if h.h_registered && not h.h_queued then enqueue h.h_q h
+
+let register t ?(mode = Level) ~readable ~watch payload =
+  let h =
+    {
+      h_q = t;
+      h_payload = payload;
+      h_readable = readable;
+      h_mode = mode;
+      h_queued = false;
+      h_registered = true;
+    }
+  in
+  t.n_registered <- t.n_registered + 1;
+  Metrics.set_gauge t.metrics ~node:t.node "server.evq.registered"
+    (float_of_int t.n_registered);
+  watch (fun () -> on_event h);
+  if readable () then enqueue t h;
+  h
+
+let rearm h =
+  if h.h_registered && not h.h_queued && h.h_readable () then enqueue h.h_q h
+
+let modify h mode =
+  h.h_mode <- mode;
+  if mode = Level then rearm h
+
+let deregister h =
+  if h.h_registered then begin
+    h.h_registered <- false;
+    let t = h.h_q in
+    t.n_registered <- t.n_registered - 1;
+    Metrics.set_gauge t.metrics ~node:t.node "server.evq.registered"
+      (float_of_int t.n_registered)
+  end
+
+let wait t =
+  (* Level-triggered re-arm: anything delivered last time and still
+     readable goes around again. O(previous batch), not O(registered). *)
+  List.iter
+    (fun h ->
+      if h.h_registered && h.h_mode = Level && not h.h_queued
+         && h.h_readable ()
+      then enqueue t h)
+    t.last_batch;
+  t.last_batch <- [];
+  while Queue.is_empty t.ready && not t.kicked do
+    Cond.wait t.cond
+  done;
+  t.kicked <- false;
+  Metrics.incr t.metrics ~node:t.node "server.evq.wakeups";
+  let batch = ref [] in
+  while not (Queue.is_empty t.ready) do
+    let h = Queue.pop t.ready in
+    h.h_queued <- false;
+    if not h.h_registered then () (* deregistered while ready: discard *)
+    else if h.h_mode = Level && not (h.h_readable ()) then
+      (* queued by an event but drained (or never readable) by delivery
+         time — the epoll definition of a spurious wake-up *)
+      Metrics.incr t.metrics ~node:t.node "server.evq.spurious"
+    else batch := h :: !batch
+  done;
+  let batch = List.rev !batch in
+  t.last_batch <- batch;
+  Metrics.observe t.metrics ~node:t.node "server.evq.ready_batch"
+    (float_of_int (List.length batch));
+  List.map (fun h -> h.h_payload) batch
+
+let kick t =
+  t.kicked <- true;
+  Cond.broadcast t.cond

@@ -1,0 +1,214 @@
+(** Connection scheduler: dispatcher + worker-pool fibers over {!Evq}.
+    See the .mli for the scheduling and backpressure contract. *)
+
+open Uls_engine
+module Api = Uls_api.Sockets_api
+
+type reaction = {
+  replies : string list;
+  close : bool;
+}
+
+type handler = Api.addr -> string -> reaction
+
+type config = {
+  workers : int;
+  accept_batch : int;
+  max_inflight : int;
+  reject : string option;
+}
+
+let default_config =
+  { workers = 4; accept_batch = 16; max_inflight = max_int; reject = None }
+
+let chunk = 65_536
+
+type conn = {
+  c_id : int;
+  c_stream : Api.stream;
+  c_react : string -> reaction;
+  mutable c_open : bool;
+  mutable c_queued : bool;
+      (* in the run queue (or being processed by a worker): readiness
+         events for a queued connection are ignored — the worker
+         re-checks [readable] when it finishes the current chunk, so no
+         wake-up is lost and no connection sits in the queue twice *)
+  mutable c_handle : payload Evq.handle option;
+}
+
+and payload = Accept | Conn of conn
+
+type t = {
+  sim : Sim.t;
+  node : int;
+  cfg : config;
+  listener : Api.listener;
+  handler : handler;
+  evq : payload Evq.t;
+  runq : conn option Mailbox.t;  (* None = worker stop sentinel *)
+  metrics : Metrics.t;
+  conns : (int, conn) Hashtbl.t;
+  mutable next_id : int;
+  mutable inflight : int;
+  mutable accepted : int;
+  mutable shed : int;
+  mutable running : bool;
+}
+
+let inflight t = t.inflight
+let accepted t = t.accepted
+let shed t = t.shed
+
+let close_conn t c =
+  if c.c_open then begin
+    c.c_open <- false;
+    (match c.c_handle with Some h -> Evq.deregister h | None -> ());
+    Hashtbl.remove t.conns c.c_id;
+    (try c.c_stream.close () with _ -> ());
+    t.inflight <- t.inflight - 1;
+    Metrics.incr t.metrics ~node:t.node "server.sched.closes"
+  end
+
+(* One chunk per dispatch. The readable guard keeps a spurious edge
+   event from parking the worker inside recv on an idle connection. *)
+let process t c =
+  if c.c_open && c.c_stream.readable () then begin
+    Metrics.incr t.metrics ~node:t.node "server.sched.dispatches";
+    let data = try c.c_stream.recv chunk with _ -> "" in
+    if data = "" then close_conn t c
+    else begin
+      match c.c_react data with
+      | exception _ -> close_conn t c
+      | r ->
+        List.iter
+          (fun reply ->
+            if c.c_open then
+              try c.c_stream.send reply with _ -> close_conn t c)
+          r.replies;
+        if r.close then close_conn t c
+    end
+  end;
+  (* Fairness: still-hungry connections go to the back of the queue
+     (c_queued stays true — no double enqueue from a racing event). *)
+  if c.c_open && c.c_stream.readable () then Mailbox.send t.runq (Some c)
+  else c.c_queued <- false
+
+let update_backlog t =
+  Metrics.set_gauge t.metrics ~node:t.node "server.listener.backlog"
+    (float_of_int (try t.listener.pending () with _ -> 0))
+
+let drain_accepts t =
+  let n = ref 0 in
+  let stop = ref false in
+  (* try_accept, never accept: a blocking accept would wedge the
+     dispatcher fiber — and the whole event loop — on a queue entry the
+     stack resolves internally (e.g. a duplicate connect request). *)
+  while t.running && not !stop && !n < t.cfg.accept_batch do
+    incr n;
+    match t.listener.try_accept () with
+    | exception _ -> stop := true
+    | None -> stop := true
+    | Some (stream, peer) ->
+      if t.inflight >= t.cfg.max_inflight then begin
+        (* Shed with an explicit reject: the client learns immediately
+           instead of timing out against a saturated server. *)
+        (match t.cfg.reject with
+        | Some bytes -> ( try stream.send bytes with _ -> ())
+        | None -> ());
+        (try stream.close () with _ -> ());
+        t.shed <- t.shed + 1;
+        Metrics.incr t.metrics ~node:t.node "server.sched.shed"
+      end
+      else begin
+        t.inflight <- t.inflight + 1;
+        t.accepted <- t.accepted + 1;
+        Metrics.incr t.metrics ~node:t.node "server.sched.accepts";
+        let c =
+          {
+            c_id = t.next_id;
+            c_stream = stream;
+            c_react = t.handler peer;
+            c_open = true;
+            c_queued = false;
+            c_handle = None;
+          }
+        in
+        t.next_id <- t.next_id + 1;
+        Hashtbl.replace t.conns c.c_id c;
+        (* Edge-triggered: a level conn handle still queued behind a
+           busy worker would be re-armed by every Evq.wait and spin the
+           dispatcher. The worker re-checks [readable] when it finishes
+           a chunk, which is exactly the edge consumer's drain duty.
+           register still checks readiness immediately, so a request
+           pipelined behind the connect is dispatched at once. *)
+        c.c_handle <-
+          Some
+            (Evq.register t.evq ~mode:Evq.Edge ~readable:stream.readable
+               ~watch:stream.watch (Conn c))
+      end
+  done;
+  update_backlog t
+
+let dispatcher t () =
+  while t.running do
+    let batch = Evq.wait t.evq in
+    List.iter
+      (function
+        | Accept -> if t.running then drain_accepts t
+        | Conn c ->
+          if c.c_open && not c.c_queued then begin
+            c.c_queued <- true;
+            Mailbox.send t.runq (Some c)
+          end)
+      batch
+  done
+
+let worker t () =
+  let rec loop () =
+    match Mailbox.recv t.runq with
+    | None -> ()
+    | Some c ->
+      process t c;
+      loop ()
+  in
+  loop ()
+
+let start sim ~node ?(config = default_config) ~listener ~handler () =
+  let t =
+    {
+      sim;
+      node;
+      cfg = config;
+      listener;
+      handler;
+      evq = Evq.create sim ~node;
+      runq = Mailbox.create sim;
+      metrics = Metrics.for_sim sim;
+      conns = Hashtbl.create 64;
+      next_id = 0;
+      inflight = 0;
+      accepted = 0;
+      shed = 0;
+      running = true;
+    }
+  in
+  ignore
+    (Evq.register t.evq ~readable:listener.acceptable
+       ~watch:listener.watch_accept Accept);
+  Sim.spawn sim ~name:(Printf.sprintf "sched-dispatch-%d" node) (dispatcher t);
+  for i = 1 to config.workers do
+    Sim.spawn sim ~name:(Printf.sprintf "sched-worker-%d.%d" node i) (worker t)
+  done;
+  t
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    (try t.listener.close_listener () with _ -> ());
+    Evq.kick t.evq;
+    for _ = 1 to t.cfg.workers do
+      Mailbox.send t.runq None
+    done;
+    let open_conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+    List.iter (close_conn t) open_conns
+  end

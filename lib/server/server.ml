@@ -1,0 +1,115 @@
+(** Echo and keep-alive HTTP servers over the {!Sched} worker pool.
+    See the .mli for the workload contract. *)
+
+open Uls_engine
+module Api = Uls_api.Sockets_api
+module Http = Uls_apps.Http
+
+type workload = Echo | Http of int
+
+type t = {
+  node : int;
+  metrics : Metrics.t;
+  trace : Trace.t;
+  mutable served : int;
+  mutable sched : Sched.t option;
+}
+
+let requests t = t.served
+
+let sched t =
+  match t.sched with Some s -> s | None -> invalid_arg "Server.sched"
+
+let http_reject =
+  Http.format_response
+    {
+      Http.status = 503;
+      reason = "Service Unavailable";
+      resp_version = "HTTP/1.1";
+      resp_headers = [ ("connection", "close") ];
+      resp_body = "";
+    }
+
+let echo_handler t _peer data =
+  t.served <- t.served + 1;
+  Metrics.incr t.metrics ~node:t.node "server.echo.chunks";
+  Metrics.add t.metrics ~node:t.node "server.echo.bytes" (String.length data);
+  Trace.instant t.trace ~layer:Trace.App ~node:t.node "server.echo"
+    ~args:[ ("bytes", string_of_int (String.length data)) ];
+  { Sched.replies = [ data ]; close = false }
+
+(* "/b/<n>" asks for an n-byte body; anything else gets the default. *)
+let body_size_of_path ~default path =
+  match String.split_on_char '/' path with
+  | [ ""; "b"; n ] -> (
+    match int_of_string_opt n with Some n when n >= 0 -> n | _ -> default)
+  | _ -> default
+
+let http_handler t default_size peer =
+  let p = Http.Parser.create () in
+  fun data ->
+    (* Bad_request from the parser propagates: the scheduler closes the
+       connection, which is all a server can do with unframeable bytes. *)
+    let reqs = Http.Parser.feed p data in
+    let close = ref false in
+    let replies =
+      List.filter_map
+        (fun (req : Http.request) ->
+          if !close then None (* nothing pipelined after Connection: close *)
+          else
+            Some
+              (Trace.span t.trace ~layer:Trace.App ~node:t.node
+                 "server.request"
+                 ~args:[ ("peer", Format.asprintf "%a" Api.pp_addr peer) ]
+                 (fun () ->
+                   t.served <- t.served + 1;
+                   Metrics.incr t.metrics ~node:t.node "server.http.requests";
+                   let size =
+                     body_size_of_path ~default:default_size req.Http.path
+                   in
+                   let last = not (Http.keep_alive req) in
+                   if last then close := true;
+                   Http.format_response
+                     {
+                       Http.status = 200;
+                       reason = "OK";
+                       resp_version = "HTTP/1.1";
+                       resp_headers =
+                         [ ("connection",
+                            if last then "close" else "keep-alive") ];
+                       resp_body = Http.body_for ~size;
+                     })))
+        reqs
+    in
+    { Sched.replies; close = !close }
+
+let start sim (stack : Api.stack) ~node ~port ?(backlog = 64) ?config workload
+    =
+  let listener = stack.listen ~node ~port ~backlog in
+  let config =
+    match config with
+    | Some c -> c
+    | None ->
+      {
+        Sched.default_config with
+        reject = (match workload with Http _ -> Some http_reject | Echo -> None);
+      }
+  in
+  let t =
+    {
+      node;
+      metrics = Metrics.for_sim sim;
+      trace = Trace.for_sim sim;
+      served = 0;
+      sched = None;
+    }
+  in
+  let handler =
+    match workload with
+    | Echo -> echo_handler t
+    | Http size -> http_handler t size
+  in
+  t.sched <- Some (Sched.start sim ~node ~config ~listener ~handler ());
+  t
+
+let stop t = match t.sched with Some s -> Sched.stop s | None -> ()

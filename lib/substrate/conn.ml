@@ -91,6 +91,9 @@ type t = {
   (** the transport exhausted its retransmissions on a message of this
       connection: the peer is unreachable, nothing further will be
       delivered in either direction *)
+  mutable watchers : (unit -> unit) list;
+  (** per-connection readiness watchers (the event engine's O(ready)
+      notification path); fired on data arrival, EOF and reset *)
   metrics : Metrics.t;
   trace : Trace.t;
 }
@@ -110,13 +113,24 @@ let set_peer t ~conn ~addr =
   t.peer_conn <- conn;
   t.peer_addr <- addr
 
+let add_watcher t f = t.watchers <- f :: t.watchers
+let fire_watchers t = List.iter (fun f -> f ()) t.watchers
+
+(* Readability changed (message arrival, EOF): wake blocked readers, the
+   node-wide select scan, and the per-connection watchers. *)
+let notify_ready t =
+  Cond.broadcast t.readable_c;
+  t.env.notify ();
+  fire_watchers t
+
 let wake_all t =
   Cond.broadcast t.readable_c;
   Cond.broadcast t.credits_c;
   (* Unblock every writer waiting for a rendezvous grant (Figure 7: the
      grant will never come once either side is closed). *)
   Cond.broadcast t.grant_c;
-  t.env.notify ()
+  t.env.notify ();
+  fire_watchers t
 
 (* --- outgoing messages ---------------------------------------------- *)
 
@@ -219,8 +233,7 @@ let rx_fiber t () =
         Hashtbl.replace t.rx_ready seq
           { rd_seq = seq; rd_slot = slot;
             rd_len = len - Options.header_bytes; rd_off = 0 };
-        Cond.broadcast t.readable_c;
-        t.env.notify ();
+        notify_ready t;
         loop ()
       | _ ->
         Codec.protocol_error "conn %d: undecodable data header from node %d"
@@ -301,8 +314,7 @@ let req_fiber t () =
         | [ seq; rid; size ] ->
           ignore (post_slot t t.req_slot ~tag:(Tags.make Tags.Rdvz_request t.id));
           Hashtbl.replace t.req_q seq { rq_seq = seq; rq_id = rid; rq_size = size };
-          Cond.broadcast t.readable_c;
-          t.env.notify ()
+          notify_ready t
         | _ ->
           Codec.protocol_error
             "conn %d: undecodable rendezvous request from node %d" t.id
@@ -763,6 +775,7 @@ let create env ~id ~peer_node ~peer_conn ~local_addr ~peer_addr =
       consumed_since_ack = 0;
       ack_holdoff_armed = false;
       readable_c = Cond.create (Node.sim env.node);
+      watchers = [];
       peer_closed = false;
       close_seq = max_int;
       closed = false;

@@ -57,6 +57,14 @@ val read : t -> int -> string
     whole-message semantics in datagram mode; [""] at end of stream. *)
 
 val readable : t -> bool
+
+val add_watcher : t -> (unit -> unit) -> unit
+(** Register a readiness watcher: invoked on every event that may make
+    {!read} non-blocking (data or rendezvous-request arrival, peer
+    close, reset). Spurious invocations allowed; watchers persist for
+    the connection's lifetime. The event engine's O(ready) wakeup path
+    (vs the node-wide [select] activity broadcast). *)
+
 val close : t -> unit
 (** Sends the "closed" control message (sequence-numbered so it cannot
     overtake in-flight data) and unposts every descriptor. The message is

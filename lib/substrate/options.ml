@@ -69,6 +69,21 @@ let data_streaming =
 let data_streaming_enhanced =
   { data_streaming with delayed_acks = true; unexpected_queue = true }
 
+(** Serving configuration: DS with every enhancement on, but provisioned
+    for thousands of concurrent connections rather than two bulk
+    streams. Small credit counts and buffers keep the per-connection
+    descriptor and memory footprint low (2N+3 descriptors each, §5.3),
+    and piggy-backed acks matter more than ever: request/response
+    traffic always has a reverse write to carry credits, so explicit
+    ack messages (and their unexpected-queue walks) mostly vanish. *)
+let server =
+  {
+    data_streaming_enhanced with
+    credits = 4;
+    buffer_size = 2_048;
+    piggyback = true;
+  }
+
 let datagram =
   {
     data_streaming with

@@ -21,6 +21,9 @@ type listener = {
   l_requests : request Mailbox.t;
   l_slots : Conn.slot array;
   l_handles : (Conn.slot * E.recv) Mailbox.t;
+  mutable l_watchers : (unit -> unit) list;
+      (** accept-readiness watchers: fired when a request is queued and
+          when the listener closes (the event engine's accept path) *)
   mutable l_closed : bool;
 }
 
@@ -172,7 +175,8 @@ let listener_fiber t l () =
         slot.Conn.sl_current <- Some r;
         Mailbox.send l.l_handles (slot, r);
         Mailbox.send l.l_requests { rq_node; rq_conn; rq_port };
-        Cond.broadcast t.activity
+        Cond.broadcast t.activity;
+        List.iter (fun f -> f ()) l.l_watchers
       | _ ->
         Codec.protocol_error
           "listener port %d: undecodable connection request" l.l_port);
@@ -196,6 +200,7 @@ let listen t ~port ~backlog =
             Os.prepin (Node.os t.node) region;
             { Conn.sl_region = region; sl_current = None });
       l_handles = Mailbox.create (sim t);
+      l_watchers = [];
       l_closed = false;
     }
   in
@@ -214,19 +219,20 @@ let listen t ~port ~backlog =
   Sim.spawn (sim t) ~name:"sub-listen" (listener_fiber t l);
   l
 
-let rec accept t l =
+(* Non-blocking: drains duplicate requests (a retried connect whose
+   reply was lost — resolved by resending the reply) until a fresh one
+   or an empty queue. Event-driven accept loops must use this: a
+   duplicate makes the queue non-empty without making a blocking
+   [accept] safe to call. *)
+let rec try_accept t l =
   if l.l_closed then raise Uls_api.Sockets_api.Connection_closed;
   match Mailbox.try_recv l.l_requests with
-  | None ->
-    (* Park on the substrate's activity condition so close_listener can
-       wake us (a plain Mailbox.recv would sleep through it forever). *)
-    Cond.wait t.activity;
-    accept t l
+  | None -> None
   | Some rq ->
   match Hashtbl.find_opt t.accepted (rq.rq_node, rq.rq_conn) with
   | Some id when Hashtbl.mem t.conns id ->
     (* The client retried because our reply was lost: resend it for the
-       connection already built, and wait for the next fresh request. *)
+       connection already built, and look for the next fresh request. *)
     Metrics.incr (Metrics.for_sim (sim t)) ~node:(node_id t)
       "sub.accept_dups";
     Trace.instant (Trace.for_sim (sim t)) ~layer:Trace.Substrate
@@ -236,7 +242,7 @@ let rec accept t l =
       (Sendpool.send t.ctrl_pool ~dst:rq.rq_node
          ~tag:(Tags.make Tags.Conn_reply rq.rq_conn)
          (Codec.encode [ id ]));
-    accept t l
+    try_accept t l
   | _ ->
   let id = alloc_id t in
   let peer_addr = { Uls_api.Sockets_api.node = rq.rq_node; port = rq.rq_port } in
@@ -256,9 +262,20 @@ let rec accept t l =
     (Sendpool.send t.ctrl_pool ~dst:rq.rq_node
        ~tag:(Tags.make Tags.Conn_reply rq.rq_conn)
        (Codec.encode [ id ]));
-  (conn, peer_addr)
+  Some (conn, peer_addr)
+
+let rec accept t l =
+  match try_accept t l with
+  | Some r -> r
+  | None ->
+    (* Park on the substrate's activity condition so close_listener can
+       wake us (a plain Mailbox.recv would sleep through it forever). *)
+    Cond.wait t.activity;
+    accept t l
 
 let acceptable l = not (Mailbox.is_empty l.l_requests)
+let listener_pending l = Mailbox.length l.l_requests
+let add_accept_watcher l f = l.l_watchers <- f :: l.l_watchers
 
 let close_listener t l =
   if not l.l_closed then begin
@@ -273,7 +290,8 @@ let close_listener t l =
         | None -> ())
       l.l_slots;
     (* Wake fibers parked in accept so they observe l_closed. *)
-    Cond.broadcast t.activity
+    Cond.broadcast t.activity;
+    List.iter (fun f -> f ()) l.l_watchers
   end
 
 (* --- connect ----------------------------------------------------------- *)
@@ -358,6 +376,7 @@ let stream_of_conn (c : Conn.t) : Uls_api.Sockets_api.stream =
     recv = (fun n -> Conn.read c n);
     close = (fun () -> Conn.close c);
     readable = (fun () -> Conn.readable c);
+    watch = (fun f -> Conn.add_watcher c f);
     peer = (fun () -> Conn.peer_addr c);
     local = (fun () -> Conn.local_addr c);
   }
@@ -375,14 +394,26 @@ let api (subs : t array) : Uls_api.Sockets_api.stack =
         (fun () ->
           let c, peer = accept s l in
           (stream_of_conn c, peer));
+      try_accept =
+        (fun () ->
+          match try_accept s l with
+          | Some (c, peer) -> Some (stream_of_conn c, peer)
+          | None -> None);
       acceptable = (fun () -> acceptable l);
+      watch_accept = (fun f -> add_accept_watcher l f);
+      pending = (fun () -> listener_pending l);
       close_listener = (fun () -> close_listener s l);
     }
   in
   let connect ~node addr = stream_of_conn (connect subs.(node) addr) in
   let select ~node streams =
     let s = subs.(node) in
+    let m = Metrics.for_sim (sim s) in
     let ready () =
+      (* The O(registered) scan the event engine exists to avoid; the
+         counters let experiments compare it against evq wakeups. *)
+      Metrics.incr m ~node "api.select_scans";
+      Metrics.add m ~node "api.select_streams_scanned" (List.length streams);
       List.filter (fun (st : Uls_api.Sockets_api.stream) -> st.readable ()) streams
     in
     let rec wait () =

@@ -37,7 +37,21 @@ val accept : t -> listener -> Conn.t * Uls_api.Sockets_api.addr
 (** Block for the next queued request, build the connection (posting its
     2N+3 descriptors), reply to the client. *)
 
+val try_accept : t -> listener -> (Conn.t * Uls_api.Sockets_api.addr) option
+(** Non-blocking accept. Resolves duplicate connection requests (a
+    retried connect whose reply was lost) by resending the reply, so
+    [None] really means "nothing fresh" — unlike [acceptable], which a
+    queued duplicate makes true without a blocking [accept] being safe. *)
+
 val acceptable : listener -> bool
+
+val listener_pending : listener -> int
+(** Connection requests queued and not yet accepted (backlog occupancy). *)
+
+val add_accept_watcher : listener -> (unit -> unit) -> unit
+(** Register an accept-readiness watcher: fired when a connection
+    request is queued and when the listener closes. *)
+
 val close_listener : t -> listener -> unit
 
 val connect : t -> Uls_api.Sockets_api.addr -> Conn.t

@@ -13,6 +13,9 @@ type listener = {
   accept_q : Tcp_conn.t Queue.t;
   mutable l_pending : int; (* embryonic (SYN_RCVD) connections *)
   accept_c : Cond.t;
+  mutable l_watchers : (unit -> unit) list;
+      (* accept-readiness watchers: fired when a connection reaches the
+         accept queue and when the listener closes (event-engine path) *)
   mutable l_closed : bool;
 }
 
@@ -49,6 +52,7 @@ let config t = t.config
 let rsts_sent t = t.rsts_sent
 let cpu t = t.cpu
 let ip t = t.ip
+let metrics t = t.metrics
 
 let conn_key ~local_port ~remote:(r : addr) = (local_port, r.node, r.port)
 
@@ -114,14 +118,16 @@ let handle_syn t ~src (seg : Segment.tcp_segment) =
           else begin
             Queue.push c l.accept_q;
             Cond.signal l.accept_c;
-            Cond.broadcast t.activity
+            Cond.broadcast t.activity;
+            List.iter (fun f -> f ()) l.l_watchers
           end);
     Hashtbl.replace t.conns
       (conn_key ~local_port:seg.Segment.dst_port ~remote)
       c
   | Some _ ->
-    (* Backlog full: drop the SYN; the client retries. *)
-    ()
+    (* Backlog full: drop the SYN; the client retries. The counter is
+       the accept-path pressure signal the --metrics dump surfaces. *)
+    Metrics.incr t.metrics ~node:(node_id t) "tcp.syn_backlog_drops"
   | None -> send_rst t ~dst:src seg
 
 let tcp_input t ~src (seg : Segment.tcp_segment) =
@@ -200,6 +206,7 @@ let listen t ~port ~backlog =
       accept_q = Queue.create ();
       l_pending = 0;
       accept_c = Cond.create (sim t);
+      l_watchers = [];
       l_closed = false;
     }
   in
@@ -222,6 +229,8 @@ let accept t l =
   c
 
 let acceptable l = not (Queue.is_empty l.accept_q)
+let listener_pending l = Queue.length l.accept_q
+let add_accept_watcher l f = l.l_watchers <- f :: l.l_watchers
 
 let close_listener t l =
   if not l.l_closed then begin
@@ -230,7 +239,8 @@ let close_listener t l =
     Cond.broadcast l.accept_c;
     (* Anything already accepted-but-unclaimed gets closed. *)
     Queue.iter Tcp_conn.app_close l.accept_q;
-    Queue.clear l.accept_q
+    Queue.clear l.accept_q;
+    List.iter (fun f -> f ()) l.l_watchers
   end
 
 let connect t (remote : addr) =

@@ -18,6 +18,7 @@ val cpu : t -> Uls_engine.Resource.t
     paper's NIC-driven design avoids). *)
 
 val ip : t -> Ip.t
+val metrics : t -> Uls_engine.Metrics.t
 val activity : t -> Uls_engine.Cond.t
 (** Broadcast on any socket readiness change; select() blocks on it. *)
 
@@ -30,6 +31,14 @@ val listen : t -> port:int -> backlog:int -> listener
 
 val accept : t -> listener -> Tcp_conn.t
 val acceptable : listener -> bool
+
+val listener_pending : listener -> int
+(** Established connections queued for [accept] (backlog occupancy). *)
+
+val add_accept_watcher : listener -> (unit -> unit) -> unit
+(** Register an accept-readiness watcher: fired when a connection
+    reaches the accept queue and when the listener closes. *)
+
 val close_listener : t -> listener -> unit
 
 val connect : t -> Uls_api.Sockets_api.addr -> Tcp_conn.t

@@ -62,6 +62,9 @@ type t = {
   (* app *)
   mutable app_closed : bool;
   mutable on_established : (t -> unit) option;
+  mutable watchers : (unit -> unit) list;
+  (* per-connection readiness watchers (the event engine's O(ready)
+     notification path, vs the node-wide activity broadcast) *)
   readable_c : Cond.t;
   writable_c : Cond.t;
   state_c : Cond.t;
@@ -109,11 +112,15 @@ let on_loss t =
     t.cwnd <- max (2 * Segment.mss) t.ssthresh
   end
 
+let add_watcher t f = t.watchers <- f :: t.watchers
+let fire_watchers t = List.iter (fun f -> f ()) t.watchers
+
 let wake_all t =
   Cond.broadcast t.readable_c;
   Cond.broadcast t.writable_c;
   Cond.broadcast t.state_c;
-  Cond.broadcast t.send_c
+  Cond.broadcast t.send_c;
+  fire_watchers t
 
 let set_state t s =
   if t.state <> s then begin
@@ -372,6 +379,7 @@ let process_data t (seg : Segment.tcp_segment) =
       t.pending_ack <- t.pending_ack + 1;
       Cond.broadcast t.readable_c;
       t.env.notify ();
+      fire_watchers t;
       if t.pending_ack >= t.env.config.Config.ack_every then send_pure_ack t
       else maybe_arm_delack t
     end
@@ -393,6 +401,7 @@ let process_fin t (seg : Segment.tcp_segment) =
       t.fin_rcvd <- true;
       Cond.broadcast t.readable_c;
       t.env.notify ();
+      fire_watchers t;
       (match t.state with
       | Established -> set_state t Close_wait
       | Fin_wait_1 ->
@@ -579,6 +588,7 @@ let make env ~local ~remote ~state =
       last_advertised = cfg.Config.rcvbuf;
       app_closed = false;
       on_established = None;
+      watchers = [];
       readable_c = Cond.create (Node.sim env.node);
       writable_c = Cond.create (Node.sim env.node);
       state_c = Cond.create (Node.sim env.node);

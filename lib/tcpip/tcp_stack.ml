@@ -23,6 +23,7 @@ let stream_of_conn (c : Tcp_conn.t) : Uls_api.Sockets_api.stream =
     recv = (fun n -> Tcp_conn.app_recv c n);
     close = (fun () -> Tcp_conn.app_close c);
     readable = (fun () -> Tcp_conn.app_readable c);
+    watch = (fun f -> Tcp_conn.add_watcher c f);
     peer = (fun () -> Tcp_conn.remote c);
     local = (fun () -> Tcp_conn.local c);
   }
@@ -37,14 +38,29 @@ let api t : Uls_api.Sockets_api.stack =
         (fun () ->
           let c = Kernel.accept k l in
           (stream_of_conn c, Tcp_conn.remote c));
+      try_accept =
+        (fun () ->
+          (* The kernel queues only fully established connections, so a
+             non-empty queue makes the blocking accept immediate. *)
+          if Kernel.acceptable l then
+            let c = Kernel.accept k l in
+            Some (stream_of_conn c, Tcp_conn.remote c)
+          else None);
       acceptable = (fun () -> Kernel.acceptable l);
+      watch_accept = (fun f -> Kernel.add_accept_watcher l f);
+      pending = (fun () -> Kernel.listener_pending l);
       close_listener = (fun () -> Kernel.close_listener k l);
     }
   in
   let connect ~node addr = stream_of_conn (Kernel.connect (kernel node) addr) in
   let select ~node streams =
     let k = kernel node in
+    let m = Kernel.metrics k in
     let ready () =
+      (* Same O(registered) scan counters as the substrate select, so
+         evq-vs-select comparisons work on either stack. *)
+      Metrics.incr m ~node "api.select_scans";
+      Metrics.add m ~node "api.select_streams_scanned" (List.length streams);
       List.filter (fun (s : Uls_api.Sockets_api.stream) -> s.readable ()) streams
     in
     let rec wait () =

@@ -28,6 +28,7 @@ let fake_stream chunks =
             end);
       close = (fun () -> ());
       readable = (fun () -> !pending <> []);
+      watch = (fun _ -> ());
       peer = (fun () -> { node = 1; port = 2 });
       local = (fun () -> { node = 0; port = 3 });
     }

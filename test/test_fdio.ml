@@ -80,6 +80,7 @@ let test_dispatch_file_vs_socket () =
           recv = (fun _ -> "sockdata");
           close = (fun () -> Buffer.add_string sent "[closed]");
           readable = (fun () -> true);
+          watch = (fun _ -> ());
           peer = (fun () -> { node = 1; port = 1 });
           local = (fun () -> { node = 0; port = 1 });
         }
