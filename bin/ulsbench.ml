@@ -546,6 +546,92 @@ let collective_cmd =
        ~doc:"Collective latency/bandwidth over an EMP group")
     Term.(const run $ op $ alg $ nodes $ size $ iters $ metrics_flag)
 
+(* --- races ------------------------------------------------------------- *)
+
+let races_cmd =
+  let seeds =
+    Arg.(value & opt int 16 & info [ "seeds" ] ~docv:"K"
+           ~doc:"Perturbed runs per scenario (seeds 0..K-1) besides the \
+                 FIFO baseline.")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"CI mode: stop a buggy fixture's seed loop at the first \
+                 catching seed instead of running all K.")
+  in
+  let scenario =
+    Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAME"
+           ~doc:"Run a single scenario by name.")
+  in
+  let replay =
+    Arg.(value & opt (some int) None & info [ "replay" ] ~docv:"SEED"
+           ~doc:"Replay --scenario under one seed and dump its \
+                 fingerprint, violations, and any deadlock report.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ]
+           ~doc:"Full divergence/violation listings.")
+  in
+  let module A = Uls_analysis.Race in
+  let module S = Uls_analysis.Scenarios in
+  let find_or_die name =
+    match S.find name with
+    | Some sc -> sc
+    | None ->
+      Printf.eprintf "ulsbench races: unknown scenario %S (have: %s)\n" name
+        (String.concat ", " (List.map (fun sc -> sc.S.sc_name) S.all));
+      exit 124
+  in
+  let run seeds smoke scenario replay verbose =
+    match replay with
+    | Some seed ->
+      let name =
+        match scenario with
+        | Some n -> n
+        | None ->
+          prerr_endline "ulsbench races: --replay requires --scenario";
+          exit 124
+      in
+      let o = A.replay (find_or_die name) ~seed in
+      print_endline (Uls_analysis.Fingerprint.to_string o.S.fingerprint);
+      List.iter
+        (fun v -> print_endline (Uls_engine.Invariant.string_of_violation v))
+        o.S.violations;
+      (match o.S.deadlock with
+      | Some rep -> print_endline (Uls_analysis.Deadlock.render rep)
+      | None -> ());
+      if o.S.violations <> [] || o.S.deadlock <> None then exit 1
+    | None ->
+      let scenarios =
+        match scenario with
+        | Some name -> [ find_or_die name ]
+        | None -> S.all
+      in
+      let failures = ref 0 in
+      List.iter
+        (fun sc ->
+          let v =
+            if smoke && sc.S.sc_buggy then A.run_until_flagged ~max_seeds:seeds sc
+            else A.run_scenario ~seeds sc
+          in
+          print_endline (A.render ~verbose v);
+          let ok = if sc.S.sc_buggy then A.flagged v else A.clean v in
+          if not ok then begin
+            incr failures;
+            Printf.printf "FAIL: %s %s\n" sc.S.sc_name
+              (if sc.S.sc_buggy then
+                 "— the detector no longer catches this seeded regression"
+               else "— not schedule-independent")
+          end)
+        scenarios;
+      if !failures > 0 then exit 1;
+      print_endline "races: all scenarios OK"
+  in
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:"Schedule-perturbation race detection over the invariant suite")
+    Term.(const run $ seeds $ smoke $ scenario $ replay $ verbose)
+
 let () =
   let doc = "Sockets-over-EMP reproduction benchmarks (simulated testbed)" in
   let info = Cmd.info "ulsbench" ~version:"1.0" ~doc in
@@ -560,4 +646,5 @@ let () =
             chaos_cmd;
             serve_cmd;
             trace_cmd;
+            races_cmd;
           ]))

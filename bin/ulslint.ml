@@ -1,0 +1,263 @@
+(* Source lint for the repository's own invariants. Stdlib-only text
+   pass over lib/ — deliberately not a typed AST tool, so it runs
+   before anything builds and stays dependency-free. Three rules:
+
+   no-assert-false   [assert false] is banned in lib/: protocol and
+                     decode paths must fail with a named, typed error
+                     (Codec.protocol_error, failwith with context), not
+                     a bare assertion that loses the state it died on.
+
+   missing-mli       every lib module exposes an interface; the .mli is
+                     where the layer's contract (and its docs) live.
+
+   blocking-watcher  readiness watcher callbacks (Evq.register ~watch,
+                     Conn.add_watcher, add_accept_watcher) run inside
+                     whatever fiber made the socket ready; a blocking
+                     call there (read/write/accept/Cond.wait/...)
+                     wedges that fiber, not the watcher's owner. Inline
+                     callbacks must only flag-and-signal.
+
+   Findings can be suppressed by .ulslint-allow at the repo root
+   ("rule path[:line]" per line, '#' comments); stale allowlist entries
+   are themselves errors, so the file can only shrink. *)
+
+let root = ref "."
+let rules = [ "no-assert-false"; "missing-mli"; "blocking-watcher" ]
+
+type finding = { rule : string; path : string; line : int; msg : string }
+
+let findings : finding list ref = ref []
+let report rule path line msg = findings := { rule; path; line; msg } :: !findings
+
+(* --- file walking ------------------------------------------------------ *)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  String.split_on_char '\n' s
+
+let rec walk dir acc =
+  Array.fold_left
+    (fun acc entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then walk path acc
+      else if Filename.check_suffix entry ".ml" then path :: acc
+      else acc)
+    acc (Sys.readdir dir)
+
+(* --- rule: no-assert-false -------------------------------------------- *)
+
+let check_assert_false path lines =
+  List.iteri
+    (fun i line ->
+      (* Cheap token scan: "assert" followed by "false" on one line.
+         Comments mentioning the phrase trip it too — that is fine, the
+         phrase should not appear at all. *)
+      let rec scan from =
+        match String.index_from_opt line from 'a' with
+        | None -> ()
+        | Some j ->
+          if
+            j + 6 <= String.length line
+            && String.sub line j 6 = "assert"
+            && (let rest = String.sub line (j + 6) (String.length line - j - 6) in
+                let rest = String.trim rest in
+                String.length rest >= 5 && String.sub rest 0 5 = "false")
+          then report "no-assert-false" path (i + 1)
+            "assert false loses the state it died on; raise a named error"
+          else scan (j + 1)
+      in
+      scan 0)
+    lines
+
+(* --- rule: missing-mli ------------------------------------------------- *)
+
+let check_mli path =
+  if not (Sys.file_exists (path ^ "i")) then
+    report "missing-mli" path 1 "library module has no interface file"
+
+(* --- rule: blocking-watcher -------------------------------------------- *)
+
+(* Watcher registration points whose callback runs in the event
+   producer's fiber. *)
+let watcher_markers = [ "add_watcher"; "add_accept_watcher"; "~watch:" ]
+
+(* Calls that suspend the running fiber. *)
+let blocking_calls =
+  [
+    ".read "; ".write "; ".accept "; ".recv "; ".send ";
+    "Cond.wait"; "Mailbox.recv"; "Resource.use"; "Sim.delay";
+    "wait_recv"; "wait_send"; "wait_established";
+  ]
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* Extract the inline [(fun ... -> ...)] starting at or after [start] in
+   the flattened source, by balanced-parenthesis matching. *)
+let extract_lambda src start =
+  match String.index_from_opt src start '(' with
+  | None -> None
+  | Some lp ->
+    let after = String.sub src (lp + 1) (min 8 (String.length src - lp - 1)) in
+    if not (String.length (String.trim after) >= 3
+            && String.sub (String.trim after) 0 3 = "fun")
+    then None
+    else begin
+      let depth = ref 0 and close = ref (-1) and i = ref lp in
+      let n = String.length src in
+      while !close < 0 && !i < n do
+        (match src.[!i] with
+        | '(' -> incr depth
+        | ')' ->
+          decr depth;
+          if !depth = 0 then close := !i
+        | _ -> ());
+        incr i
+      done;
+      if !close < 0 then None else Some (String.sub src lp (!close - lp + 1))
+    end
+
+let check_blocking_watcher path lines =
+  let src = String.concat "\n" lines in
+  let line_of off =
+    let count = ref 1 in
+    String.iteri (fun i c -> if i < off && c = '\n' then incr count) src;
+    !count
+  in
+  List.iter
+    (fun marker ->
+      let ml = String.length marker in
+      let rec scan from =
+        if from + ml <= String.length src then
+          if String.sub src from ml = marker then begin
+            (match extract_lambda src (from + ml) with
+            | None -> () (* named callback: assumed audited at definition *)
+            | Some body ->
+              List.iter
+                (fun call ->
+                  if contains ~needle:call body then
+                    report "blocking-watcher" path (line_of from)
+                      (Printf.sprintf
+                         "watcher callback registered via %s calls blocking %s"
+                         (if marker = "~watch:" then "Evq.register ~watch"
+                          else marker)
+                         (String.trim call)))
+                blocking_calls);
+            scan (from + ml)
+          end
+          else scan (from + 1)
+      in
+      scan 0)
+    watcher_markers
+
+(* --- allowlist --------------------------------------------------------- *)
+
+type allow = { a_rule : string; a_path : string; a_line : int option }
+
+let load_allowlist path =
+  if not (Sys.file_exists path) then []
+  else
+    read_lines path
+    |> List.filter_map (fun line ->
+           let line =
+             match String.index_opt line '#' with
+             | Some i -> String.sub line 0 i
+             | None -> line
+           in
+           match
+             String.split_on_char ' ' (String.trim line)
+             |> List.filter (fun s -> s <> "")
+           with
+           | [] -> None
+           | [ rule; target ] ->
+             if not (List.mem rule rules) then begin
+               Printf.eprintf "ulslint: unknown rule %S in allowlist\n" rule;
+               exit 2
+             end;
+             (match String.rindex_opt target ':' with
+             | Some i when i < String.length target - 1
+                        && String.for_all
+                             (fun c -> c >= '0' && c <= '9')
+                             (String.sub target (i + 1)
+                                (String.length target - i - 1)) ->
+               Some
+                 {
+                   a_rule = rule;
+                   a_path = String.sub target 0 i;
+                   a_line =
+                     Some
+                       (int_of_string
+                          (String.sub target (i + 1)
+                             (String.length target - i - 1)));
+                 }
+             | _ -> Some { a_rule = rule; a_path = target; a_line = None })
+           | _ ->
+             Printf.eprintf "ulslint: malformed allowlist line %S\n" line;
+             exit 2)
+
+let matches a f =
+  a.a_rule = f.rule && a.a_path = f.path
+  && match a.a_line with None -> true | Some l -> l = f.line
+
+(* --- driver ------------------------------------------------------------ *)
+
+let () =
+  (match Sys.argv with
+  | [| _ |] -> ()
+  | [| _; dir |] -> root := dir
+  | _ ->
+    prerr_endline "usage: ulslint [REPO_ROOT]";
+    exit 2);
+  let lib = Filename.concat !root "lib" in
+  if not (Sys.file_exists lib) then begin
+    Printf.eprintf "ulslint: no lib/ under %s\n" !root;
+    exit 2
+  end;
+  let files = List.sort compare (walk lib []) in
+  List.iter
+    (fun path ->
+      let lines = read_lines path in
+      check_assert_false path lines;
+      check_mli path;
+      check_blocking_watcher path lines)
+    files;
+  let allows = load_allowlist (Filename.concat !root ".ulslint-allow") in
+  let relativize f =
+    (* Report paths relative to the repo root so allowlist entries are
+       machine-independent. *)
+    let prefix = !root ^ "/" in
+    let pl = String.length prefix in
+    if String.length f.path > pl && String.sub f.path 0 pl = prefix then
+      { f with path = String.sub f.path pl (String.length f.path - pl) }
+    else f
+  in
+  let all = List.rev_map relativize !findings in
+  let stale =
+    List.filter (fun a -> not (List.exists (fun f -> matches a f) all)) allows
+  in
+  let live =
+    List.filter (fun f -> not (List.exists (fun a -> matches a f) allows)) all
+  in
+  List.iter
+    (fun f ->
+      Printf.printf "%s:%d: [%s] %s\n" f.path f.line f.rule f.msg)
+    live;
+  List.iter
+    (fun a ->
+      Printf.printf
+        ".ulslint-allow: stale entry \"%s %s%s\" (no such finding — remove it)\n"
+        a.a_rule a.a_path
+        (match a.a_line with None -> "" | Some l -> ":" ^ string_of_int l))
+    stale;
+  if live <> [] || stale <> [] then begin
+    Printf.printf "ulslint: %d finding(s), %d stale allowlist entr(ies)\n"
+      (List.length live) (List.length stale);
+    exit 1
+  end;
+  Printf.printf "ulslint: %d files clean (allowlist: %d entries)\n"
+    (List.length files) (List.length allows)

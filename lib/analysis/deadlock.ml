@@ -1,0 +1,31 @@
+(* Deadlock diagnoser. After a `Quiescent run the event queue is empty:
+   any fiber still parked in suspend can never resume. Daemon fibers
+   (protocol dispatch loops, service fibers) park forever by design and
+   are filtered out; what remains is application work that will never
+   finish — a deadlock, reported as a named wait-for list instead of the
+   silent hang a wall-clock system would give. *)
+
+open Uls_engine
+
+type report = {
+  rep_at : Time.ns;  (* virtual time the run went quiescent *)
+  rep_stuck : Sim.parked list;  (* non-daemon parked fibers, oldest first *)
+}
+
+let check sim =
+  let stuck =
+    List.filter (fun p -> not p.Sim.daemon) (Sim.blocked_report sim)
+  in
+  if stuck = [] then None else Some { rep_at = Sim.now sim; rep_stuck = stuck }
+
+let render r =
+  let header =
+    Printf.sprintf
+      "DEADLOCK at t=%dns: %d fiber(s) parked with an empty event queue"
+      r.rep_at (List.length r.rep_stuck)
+  in
+  let line p =
+    Printf.sprintf "  fiber %-24s waiting on %-24s since t=%dns" p.Sim.fiber
+      p.Sim.label p.Sim.since
+  in
+  String.concat "\n" (header :: List.map line r.rep_stuck)

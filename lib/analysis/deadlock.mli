@@ -1,0 +1,19 @@
+(** Deadlock diagnosis. When {!Uls_engine.Sim.run} returns [`Quiescent]
+    with fibers still parked, those fibers can never resume (the event
+    queue is empty — nothing will call their resume). Daemon service
+    fibers park forever by design; any {e non-daemon} parked fiber is a
+    deadlocked piece of application work. The report names each stuck
+    fiber and the condition/mailbox label it suspended on — the wait-for
+    information a hung real system hides. *)
+
+type report = {
+  rep_at : Uls_engine.Time.ns;  (** virtual time of quiescence *)
+  rep_stuck : Uls_engine.Sim.parked list;  (** non-daemon parked fibers *)
+}
+
+val check : Uls_engine.Sim.t -> report option
+(** Call after a [`Quiescent] run. [None] means no deadlock. *)
+
+val render : report -> string
+(** Multi-line wait-for report: one [fiber … waiting on … since …] line
+    per stuck fiber. *)

@@ -1,0 +1,35 @@
+(** Final-state fingerprint: the semantic end state of a run, reduced to
+    a digest the race detector can compare across schedule
+    perturbations. Only schedule-independent observables participate —
+    application-level operation counts ({!stable_counters}), the
+    surviving connection tables, recorded invariant violations (without
+    their timestamps), and scenario-provided observable strings
+    (payload digests). Two runs of a correct program under different
+    same-timestamp orderings must produce {!equal} fingerprints; a
+    difference is a race. *)
+
+type t
+
+val stable_counters : string list
+(** Metric counters allowed into the fingerprint. Everything else
+    (frame, ack, retransmission, read-call counts) is legitimately
+    schedule-dependent and excluded. *)
+
+val capture :
+  ?observables:string list ->
+  Uls_engine.Sim.t ->
+  subs:(int * Uls_substrate.Substrate.t) list ->
+  t
+(** Capture after the run reached quiescence. [observables] are
+    scenario-level facts (e.g. ["client0 digest=..."]); order is
+    preserved, so scenarios should emit them deterministically. *)
+
+val equal : t -> t -> bool
+
+val first_difference : t -> t -> string option
+(** [None] when equal; otherwise a one-line description of the first
+    differing fingerprint line (the divergence report). *)
+
+val lines : t -> string list
+val digest : t -> string
+val to_string : t -> string

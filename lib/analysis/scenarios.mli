@@ -1,0 +1,43 @@
+(** The invariant suite: closed workloads the race detector perturbs.
+
+    Each scenario builds its own cluster with a chosen same-timestamp
+    tie-break policy, enables the invariant monitors, drives a workload
+    to quiescence, runs the end-of-run sanitizers, and captures the
+    final-state fingerprint. A {e clean} scenario must produce the same
+    fingerprint, zero violations, and no deadlock under every tie-break;
+    a {e buggy} fixture encodes a known bug class (re-introduced
+    deliberately) that the detector must keep catching. *)
+
+type tiebreak = [ `Fifo | `Seeded_shuffle of int ]
+
+type outcome = {
+  fingerprint : Fingerprint.t;
+  violations : Uls_engine.Invariant.violation list;
+      (** everything the in-line monitors and sanitizers recorded *)
+  deadlock : Deadlock.report option;
+  leaks : Sanitizer.finding list;
+  stop : [ `Quiescent | `Time_limit | `Stopped ];
+}
+
+type t = {
+  sc_name : string;
+  sc_descr : string;
+  sc_buggy : bool;
+      (** fixtures the detector must flag (CI fails if it stops catching
+          them) *)
+  sc_run : tiebreak -> outcome;
+}
+
+val clean_suite : t list
+(** Scenarios that must stay schedule-independent: streaming echo under
+    credit flow control, datagram rendezvous from concurrent clients,
+    connection churn, and the raw-EMP grant protocol with per-request
+    routing. *)
+
+val buggy_suite : t list
+(** Seeded regressions: currently the PR 2 shared-grant-queue bug,
+    re-introduced in a raw-EMP fixture. *)
+
+val all : t list
+
+val find : string -> t option

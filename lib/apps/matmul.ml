@@ -180,7 +180,10 @@ let master_collective sim stack ~node ~base_port ~streams ~peers ~a ~b =
   let parts =
     match Group.gather ~alg:Group.Linear g ~root:0 ~max:(gather_max ~n ~workers) "" with
     | Some parts -> parts
-    | None -> assert false (* rank 0 is the gather root *)
+    | None ->
+      failwith
+        "Matmul.master: gather returned no parts at rank 0, the gather root \
+         (Group.gather must return Some at the root)"
   in
   let product = Array.make n [||] in
   Array.iteri

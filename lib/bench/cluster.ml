@@ -12,8 +12,11 @@ type t = {
   mutable tcp : Uls_tcp.Tcp_stack.t option;
 }
 
-let create ?(model = Cost_model.paper_testbed) ~n () =
+let create ?(model = Cost_model.paper_testbed) ?tiebreak ~n () =
   let sim = Sim.create () in
+  (* Must precede any spawn: NIC/node setup tasks scheduled below should
+     already draw shuffled priorities under a perturbed schedule. *)
+  (match tiebreak with Some tb -> Sim.set_tiebreak sim tb | None -> ());
   let net =
     Uls_ether.Network.create sim ~bits_per_ns:model.Cost_model.link_bits_per_ns
       ~propagation:model.Cost_model.link_propagation
@@ -68,5 +71,13 @@ let tcp ?config t =
     stack
 
 let tcp_api ?config t = Uls_tcp.Tcp_stack.api (tcp ?config t)
+
+let instantiated arr =
+  Array.to_list arr
+  |> List.mapi (fun i o -> Option.map (fun v -> (i, v)) o)
+  |> List.filter_map Fun.id
+
+let endpoints t = instantiated t.emps
+let substrates t = instantiated t.subs
 
 let run ?until t = Sim.run ?until t.sim

@@ -3,7 +3,17 @@
 
 type t
 
-val create : ?model:Uls_host.Cost_model.t -> n:int -> unit -> t
+val create :
+  ?model:Uls_host.Cost_model.t ->
+  ?tiebreak:[ `Fifo | `Seeded_shuffle of int ] ->
+  n:int ->
+  unit ->
+  t
+(** [create ?model ?tiebreak ~n ()] builds the cluster. [tiebreak] sets
+    the simulator's same-timestamp dispatch policy (see
+    {!Uls_engine.Sim.set_tiebreak}) before any task is scheduled — the
+    race detector's schedule-perturbation hook. Default FIFO. *)
+
 val sim : t -> Uls_engine.Sim.t
 val model : t -> Uls_host.Cost_model.t
 val network : t -> Uls_ether.Network.t
@@ -30,3 +40,10 @@ val substrate_api : ?opts:Uls_substrate.Options.t -> t -> Uls_api.Sockets_api.st
 (** Substrate instances on every node, as a sockets stack. *)
 
 val run : ?until:Uls_engine.Time.ns -> t -> [ `Quiescent | `Time_limit | `Stopped ]
+
+val endpoints : t -> (int * Uls_emp.Endpoint.t) list
+(** Already-instantiated EMP endpoints, as [(node, endpoint)] pairs in
+    node order (the sanitizers walk them at end of run). *)
+
+val substrates : t -> (int * Uls_substrate.Substrate.t) list
+(** Already-instantiated substrate instances, in node order. *)

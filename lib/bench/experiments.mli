@@ -1,0 +1,11 @@
+(** One driver per table/figure of the paper's evaluation (§7), plus the
+    ablation studies called out in DESIGN.md. Every driver returns a
+    {!Table.t}; [all] runs the full evaluation. *)
+
+val all : ?quick:bool -> unit -> Table.t list
+(** Run the full evaluation. [quick] shrinks iteration counts and
+    message-size sweeps for smoke runs. *)
+
+val by_id : (string * (?quick:bool -> unit -> Table.t)) list
+(** Individual drivers by their figure/ablation id (["fig11"],
+    ["abl-uq"], ...). *)

@@ -545,7 +545,15 @@ let allreduce_rd t ~seq ~op ~max data =
       | h :: rest ->
           acc := op.combine !acc (await t h);
           hs := rest
-      | [] -> assert false);
+      | [] ->
+        (* [rd_hs] pre-posted one receive per doubling round, so running
+           out before [mask] reaches [pof2] is a protocol bug, not an
+           input error. *)
+        failwith
+          (Printf.sprintf
+             "Group.allreduce_rd: rank %d exhausted its pre-posted round \
+              receives at round %d (invariant: one per doubling round)"
+             rank !r));
       mask := !mask lsl 1;
       incr r
     done

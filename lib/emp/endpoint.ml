@@ -86,12 +86,19 @@ type stats = {
   nacks_sent : int;
 }
 
+type desc_stats = {
+  descs_posted : int;  (* receive descriptors ever posted *)
+  descs_completed : int;  (* completed, including cancel sentinels *)
+  descs_live : int;  (* still on the match list *)
+}
+
 type t = {
   node : Node.t;
   nic : Tigon.t;
   cfg : config;
   metrics : Metrics.t;
   trace : Trace.t;
+  inv : Invariant.t;
   mutable next_msg_id : int;
   posted : recv Match_list.t;
   uq : uq_slot Vec.t;
@@ -110,6 +117,8 @@ type t = {
   mutable st_uq_hits : int;
   mutable st_walked : int;
   mutable st_nacks : int;
+  mutable st_desc_posted : int;
+  mutable st_desc_completed : int;
 }
 
 exception Send_failed of { dst : int; tag : int; retries : int }
@@ -122,6 +131,13 @@ let config t = t.cfg
 let model t = Node.model t.node
 
 let posted_descriptors t = Match_list.length t.posted
+
+let descriptor_stats t =
+  {
+    descs_posted = t.st_desc_posted;
+    descs_completed = t.st_desc_completed;
+    descs_live = Match_list.length t.posted;
+  }
 
 let stats t =
   {
@@ -257,7 +273,7 @@ let post_send t ~dst ~tag region ~off ~len =
         Trace.span_begin t.trace ~layer:Trace.Emp ~node:(node_id t)
           ~seq:t.next_msg_id "emp.send"
           ~args:[ ("len", string_of_int len) ];
-      s_cond = Cond.create (sim t);
+      s_cond = Cond.create ~label:"emp:send" (sim t);
     }
   in
   Hashtbl.replace t.active_tx st.s_key st;
@@ -267,6 +283,7 @@ let post_send t ~dst ~tag region ~off ~len =
   st
 
 let send_done st = st.s_done
+let send_failed st = st.s_failed
 
 let wait_send t st =
   Cond.wait_until st.s_cond (fun () -> st.s_done || st.s_failed);
@@ -306,11 +323,21 @@ let wait_recv_timeout t r timeout =
   in
   loop ()
 
-let complete_recv r ~len ~src ~tag =
+let complete_recv t r ~len ~src ~tag =
+  Invariant.check t.inv ~name:"emp.desc_double_complete" (not r.r_done)
+    (fun () ->
+      Printf.sprintf "node %d: descriptor completed twice (src=%d tag=%d)"
+        (node_id t) src tag);
   r.r_len <- len;
   r.r_from <- src;
   r.r_tag <- tag;
   r.r_done <- true;
+  t.st_desc_completed <- t.st_desc_completed + 1;
+  Invariant.check t.inv ~name:"emp.desc_conservation"
+    (t.st_desc_completed <= t.st_desc_posted)
+    (fun () ->
+      Printf.sprintf "node %d: %d descriptors completed but only %d posted"
+        (node_id t) t.st_desc_completed t.st_desc_posted);
   Cond.broadcast r.r_cond
 
 (* Host-side consumption of a message that landed in the unexpected
@@ -328,7 +355,7 @@ let consume_uq t slot r =
     let src = slot.u_from and tag = slot.u_tag in
     slot.u_state <- `Free;
     slot.u_len <- 0;
-    complete_recv r ~len ~src ~tag
+    complete_recv t r ~len ~src ~tag
   in
   Sim.spawn (sim t) ~name:"emp-uq-copy" finish
 
@@ -367,9 +394,10 @@ let post_recv t ~src ~tag region ~off ~len =
       r_matched = false;
       r_done = false;
       r_cancelled = false;
-      r_cond = Cond.create (sim t);
+      r_cond = Cond.create ~label:"emp:recv" (sim t);
     }
   in
+  t.st_desc_posted <- t.st_desc_posted + 1;
   (match uq_match t ~src ~tag with
   | Some slot -> consume_uq t slot r
   | None ->
@@ -386,7 +414,7 @@ let unpost_recv t r =
     let removed = Match_list.unpost_matching t.posted (fun r' -> r' == r) in
     (* Cancelled receives complete with the -1 sentinel so fibers blocked
        in [wait_recv] unwind (socket close, §5.3). *)
-    complete_recv r ~len:(-1) ~src:(-1) ~tag:(-1);
+    complete_recv t r ~len:(-1) ~src:(-1) ~tag:(-1);
     removed <> []
   end
 
@@ -534,7 +562,7 @@ let finish_record t key record =
     ~args:[ ("len", string_of_int record.rec_total) ];
   match record.rec_dst with
   | To_user r ->
-    complete_recv r
+    complete_recv t r
       ~len:(min record.rec_total r.r_cap)
       ~src:record.rec_src ~tag:record.rec_tag
   | To_uq slot -> (
@@ -693,7 +721,11 @@ let rx_dispatcher t () =
   loop ()
 
 let reset t =
-  ignore (Match_list.unpost_all t.posted);
+  (* Descriptors torn down by a reset count as completed for the
+     posted/completed conservation invariant: they are gone by design,
+     not leaked. *)
+  let unposted = Match_list.unpost_all t.posted in
+  t.st_desc_completed <- t.st_desc_completed + List.length unposted;
   Hashtbl.reset t.active_rx;
   Hashtbl.reset t.finished_rx;
   Vec.iter
@@ -711,14 +743,15 @@ let create ?(config = default_config) node nic =
       cfg = config;
       metrics = Metrics.for_sim sim;
       trace = Trace.for_sim sim;
+      inv = Invariant.for_sim sim;
       next_msg_id = 0;
       posted = Match_list.create ();
       uq = Vec.create ();
       active_rx = Hashtbl.create 64;
       finished_rx = Hashtbl.create 256;
       active_tx = Hashtbl.create 64;
-      rx_queue = Mailbox.create sim;
-      uq_arrival = Cond.create sim;
+      rx_queue = Mailbox.create ~label:"emp:rx-queue" sim;
+      uq_arrival = Cond.create ~label:"emp:uq-arrival" sim;
       on_send_failure = (fun ~dst:_ ~tag:_ ~retries:_ -> ());
       st_msgs_sent = 0;
       st_msgs_recv = 0;
@@ -729,8 +762,10 @@ let create ?(config = default_config) node nic =
       st_uq_hits = 0;
       st_walked = 0;
       st_nacks = 0;
+      st_desc_posted = 0;
+      st_desc_completed = 0;
     }
   in
   Tigon.set_firmware_rx nic (fun frame -> Mailbox.send t.rx_queue frame);
-  Sim.spawn sim ~name:"emp-rx-dispatch" (rx_dispatcher t);
+  Sim.spawn sim ~name:"emp-rx-dispatch" ~daemon:true (rx_dispatcher t);
   t

@@ -50,6 +50,11 @@ val post_send :
     NIC-side transmit proceeds concurrently. Caller must be a fiber. *)
 
 val send_done : send -> bool
+
+val send_failed : send -> bool
+(** The send exhausted its retries and was abandoned (the sanitizer's
+    send-pool leak scan distinguishes failed from leaked slots). *)
+
 val wait_send : t -> send -> unit
 (** Block until fully acknowledged. @raise Send_failed after
     [max_retries] unacknowledged retransmission rounds. *)
@@ -133,3 +138,16 @@ type stats = {
 
 val stats : t -> stats
 val posted_descriptors : t -> int
+
+type desc_stats = {
+  descs_posted : int;  (** receive descriptors ever posted *)
+  descs_completed : int;
+      (** completed deliveries, including the [-1] cancel sentinel and
+          descriptors torn down by {!reset} *)
+  descs_live : int;  (** still waiting on the match list *)
+}
+
+val descriptor_stats : t -> desc_stats
+(** Conservation law checked by the descriptor-leak sanitizer: at
+    quiescence [descs_posted = descs_completed + descs_live], and after
+    every endpoint is closed [descs_live = 0]. *)

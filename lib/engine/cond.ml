@@ -6,10 +6,12 @@ type waiter = {
 
 type t = {
   sim : Sim.t;
+  label : string;
   queue : waiter Queue.t;
 }
 
-let create sim = { sim; queue = Queue.create () }
+let create ?(label = "cond") sim = { sim; label; queue = Queue.create () }
+let label t = t.label
 
 let waiters t =
   Queue.fold (fun n w -> if w.woken then n else n + 1) 0 t.queue
@@ -36,11 +38,11 @@ let enqueue t resume =
   w
 
 let wait t =
-  Sim.suspend t.sim (fun resume -> ignore (enqueue t resume))
+  Sim.suspend t.sim ~label:t.label (fun resume -> ignore (enqueue t resume))
 
 let wait_timeout t timeout =
   let cell = ref None in
-  Sim.suspend t.sim (fun resume ->
+  Sim.suspend t.sim ~label:t.label (fun resume ->
       let w = enqueue t resume in
       cell := Some w;
       Sim.at t.sim
@@ -54,7 +56,13 @@ let wait_timeout t timeout =
   match !cell with
   | Some w when w.timed_out -> `Timeout
   | Some _ -> `Ok
-  | None -> assert false
+  | None ->
+    (* The suspend registration runs before the fiber can be resumed, so
+       the cell is always set by the time the fiber continues. *)
+    failwith
+      (Printf.sprintf
+         "Cond.wait_timeout (%s): resumed before the waiter was registered"
+         t.label)
 
 let signal t =
   let rec pop () =

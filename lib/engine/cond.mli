@@ -2,7 +2,12 @@
 
 type t
 
-val create : Sim.t -> t
+val create : ?label:string -> Sim.t -> t
+(** [label] names this condition in deadlock wait-for reports
+    ({!Sim.blocked_report}); include the owning object (e.g.
+    ["conn:3 credits"]) so a report reads without source access. *)
+
+val label : t -> string
 
 val wait : t -> unit
 (** Block the calling fiber until signalled. *)

@@ -1,0 +1,57 @@
+(** Per-simulation invariant monitors ("sanitizers").
+
+    Protocol layers assert conserved quantities (credit counts in
+    [0, N], descriptor posted/completed balance, buffer-ring occupancy)
+    by calling {!check} at every state transition. When monitoring is
+    disabled — the default — a check costs a field read and a branch, so
+    the hooks live permanently in production paths; the analysis layer
+    enables them for sanitized runs and reads back {!violations}.
+
+    Like {!Metrics} and {!Trace}, one registry exists per simulation
+    ({!for_sim}, keyed by {!Sim.uid}), so no handle is threaded through
+    constructors. *)
+
+type t
+
+type violation = {
+  v_name : string;  (** invariant name, e.g. ["sub.credit_range"] *)
+  v_detail : string;
+  v_fiber : string;  (** fiber running when the violation was recorded *)
+  v_time : Time.ns;  (** virtual time of the violation *)
+}
+
+exception Violation of string
+(** Raised by {!check}/{!fail} only under [enable ~strict:true]. *)
+
+val create : Sim.t -> t
+(** A fresh, private monitor (mostly for tests). *)
+
+val for_sim : Sim.t -> t
+(** The simulation's shared monitor, created on first use. *)
+
+val enable : ?strict:bool -> t -> unit
+(** Turn monitoring on. With [strict], the first violation raises
+    {!Violation} at the offending transition instead of only recording;
+    without it, violations accumulate and the run continues (the race
+    detector's mode: the fingerprint includes them). *)
+
+val enabled : t -> bool
+
+val check : t -> name:string -> bool -> (unit -> string) -> unit
+(** [check t ~name ok detail] records a violation when monitoring is on
+    and [ok] is false. [detail] is only forced on failure, so checks are
+    free to interpolate state into the message. *)
+
+val fail : t -> name:string -> string -> unit
+(** Unconditionally record a violation (monitors that detect rather than
+    assert, e.g. a leak scan). *)
+
+val violations : t -> violation list
+(** Oldest first. *)
+
+val count : t -> int
+
+val summary : t -> string list
+(** One formatted line per violation, oldest first. *)
+
+val string_of_violation : violation -> string

@@ -4,7 +4,8 @@ type 'a t = {
   nonempty : Cond.t;
 }
 
-let create sim = { sim; queue = Queue.create (); nonempty = Cond.create sim }
+let create ?(label = "mailbox") sim =
+  { sim; queue = Queue.create (); nonempty = Cond.create ~label sim }
 
 let send t v =
   Queue.push v t.queue;

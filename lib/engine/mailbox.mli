@@ -2,7 +2,10 @@
 
 type 'a t
 
-val create : Sim.t -> 'a t
+val create : ?label:string -> Sim.t -> 'a t
+(** [label] names this channel in deadlock wait-for reports (see
+    {!Cond.create}). *)
+
 val send : 'a t -> 'a -> unit
 
 val recv : 'a t -> 'a

@@ -65,6 +65,12 @@ let reset t =
   Hashtbl.iter (fun _ g -> g := 0.) t.gauges;
   Hashtbl.iter (fun _ h -> Stats.Summary.clear h) t.histograms
 
+let counters_snapshot t =
+  Hashtbl.fold
+    (fun k c acc -> (k.k_node, k.k_name, Stats.Counter.value c) :: acc)
+    t.counters []
+  |> List.sort compare
+
 (* --- dump --------------------------------------------------------------- *)
 
 let nodes t =

@@ -41,6 +41,11 @@ val reset : t -> unit
 (** Zero every counter and gauge, clear every histogram (the metrics
     themselves stay registered). *)
 
+val counters_snapshot : t -> (int * string * int) list
+(** Every registered counter as [(node, name, value)], sorted — a
+    canonical ordering usable for final-state fingerprints (node [-1]
+    means not tied to a node). *)
+
 val dump : t -> Format.formatter -> unit
 (** Per-node listing: counters and gauges with values, histograms with
     count / mean / p50 / p95 / max. *)

@@ -1,7 +1,31 @@
 type task = {
   time : Time.ns;
+  pri : int;  (* tie-break priority among same-timestamp tasks *)
   seq : int;
   run : unit -> unit;
+}
+
+(* Same-timestamp dispatch order. FIFO gives every task the same
+   priority, so the [seq] fallback reproduces strict scheduling order;
+   the seeded shuffle draws a random priority per task, perturbing the
+   order of simultaneous events only — the race detector's schedule
+   perturbation (timestamps themselves never move). *)
+type tiebreak =
+  | Fifo
+  | Shuffle of Rng.t
+
+type park = {
+  pk_fiber : string;
+  pk_label : string;
+  pk_since : Time.ns;
+  pk_daemon : bool;
+}
+
+type parked = {
+  fiber : string;
+  label : string;
+  since : Time.ns;
+  daemon : bool;
 }
 
 type t = {
@@ -13,13 +37,20 @@ type t = {
   mutable blocked : int;
   mutable stopped : bool;
   mutable executed : int;
+  mutable tiebreak : tiebreak;
+  mutable cur_fiber : string;
+  parked : (int, park) Hashtbl.t;
+  mutable next_park : int;
 }
 
 exception Fiber_failure of string * exn
 
 let compare_task a b =
   let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+  if c <> 0 then c
+  else
+    let c = compare a.pri b.pri in
+    if c <> 0 then c else compare a.seq b.seq
 
 let next_uid = ref 0
 
@@ -34,6 +65,10 @@ let create () =
     blocked = 0;
     stopped = false;
     executed = 0;
+    tiebreak = Fifo;
+    cur_fiber = "main";
+    parked = Hashtbl.create 16;
+    next_park = 0;
   }
 
 let uid t = t.uid
@@ -42,29 +77,65 @@ let blocked_fibers t = t.blocked
 let live_fibers t = t.live
 let events_executed t = t.executed
 let stop t = t.stopped <- true
+let current_fiber t = t.cur_fiber
+
+let set_tiebreak t = function
+  | `Fifo -> t.tiebreak <- Fifo
+  | `Seeded_shuffle seed -> t.tiebreak <- Shuffle (Rng.create ~seed)
+
+let blocked_report t =
+  Hashtbl.fold
+    (fun _ p acc ->
+      { fiber = p.pk_fiber; label = p.pk_label; since = p.pk_since;
+        daemon = p.pk_daemon }
+      :: acc)
+    t.parked []
+  |> List.sort (fun a b ->
+         let c = compare a.since b.since in
+         if c <> 0 then c
+         else
+           let c = compare a.fiber b.fiber in
+           if c <> 0 then c else compare a.label b.label)
 
 let schedule t ~time run =
   if time < t.now then invalid_arg "Sim: scheduling in the past";
   t.seq <- t.seq + 1;
-  Heap.push t.heap { time; seq = t.seq; run }
+  let pri =
+    match t.tiebreak with Fifo -> 0 | Shuffle rng -> Rng.int rng 0x4000_0000
+  in
+  Heap.push t.heap { time; pri; seq = t.seq; run }
 
 let at t time run = schedule t ~time run
 
 type _ Effect.t +=
   | Delay : t * Time.ns -> unit Effect.t
-  | Suspend : t * ((unit -> unit) -> unit) -> unit Effect.t
+  | Suspend : t * string * ((unit -> unit) -> unit) -> unit Effect.t
 
 let delay t d = if d > 0 then Effect.perform (Delay (t, d))
-let suspend t register = Effect.perform (Suspend (t, register))
 
-let run_fiber t name f =
+let suspend t ?(label = "suspend") register =
+  Effect.perform (Suspend (t, label, register))
+
+let run_fiber t ~daemon name f =
   let open Effect.Deep in
+  (* Exactly-once exit bookkeeping, shared by the normal return, an
+     uncaught exception in the fiber body, and a failure inside a
+     suspend registration — so [live] can never go stale on the failure
+     path. *)
+  let finished = ref false in
+  let finish () =
+    if not !finished then begin
+      finished := true;
+      t.live <- t.live - 1
+    end
+  in
   let body () =
+    t.cur_fiber <- name;
     (try f ()
      with e ->
-       t.live <- t.live - 1;
+       finish ();
        raise (Fiber_failure (name, e)));
-    t.live <- t.live - 1
+    finish ()
   in
   let effc : type a. a Effect.t -> ((a, unit) continuation -> unit) option =
     function
@@ -72,30 +143,52 @@ let run_fiber t name f =
       Some
         (fun k ->
           assert (t' == t);
-          schedule t ~time:(t.now + d) (fun () -> continue k ()))
-    | Suspend (t', register) ->
+          schedule t ~time:(t.now + d) (fun () ->
+              t.cur_fiber <- name;
+              continue k ()))
+    | Suspend (t', label, register) ->
       Some
         (fun k ->
           assert (t' == t);
           t.blocked <- t.blocked + 1;
+          t.next_park <- t.next_park + 1;
+          let park_id = t.next_park in
+          Hashtbl.replace t.parked park_id
+            { pk_fiber = name; pk_label = label; pk_since = t.now;
+              pk_daemon = daemon };
           let resumed = ref false in
+          let unpark () =
+            resumed := true;
+            t.blocked <- t.blocked - 1;
+            Hashtbl.remove t.parked park_id
+          in
           let resume () =
             if not !resumed then begin
-              resumed := true;
-              t.blocked <- t.blocked - 1;
-              schedule t ~time:t.now (fun () -> continue k ())
+              unpark ();
+              schedule t ~time:t.now (fun () ->
+                  t.cur_fiber <- name;
+                  continue k ())
             end
           in
-          register resume)
+          (* If registration itself raises, the fiber can never be
+             resumed: undo the parking bookkeeping and account the fiber
+             as dead before the exception escapes, or [blocked] (and
+             [live]) would stay stale forever. *)
+          match register resume with
+          | () -> ()
+          | exception e ->
+            if not !resumed then unpark ();
+            finish ();
+            raise (Fiber_failure (name, e)))
     | _ -> None
   in
   match_with body () { retc = Fun.id; exnc = raise; effc }
 
-let spawn_at t ?(name = "fiber") time f =
+let spawn_at t ?(name = "fiber") ?(daemon = false) time f =
   t.live <- t.live + 1;
-  schedule t ~time (fun () -> run_fiber t name f)
+  schedule t ~time (fun () -> run_fiber t ~daemon name f)
 
-let spawn t ?name f = spawn_at t ?name t.now f
+let spawn t ?name ?daemon f = spawn_at t ?name ?daemon t.now f
 
 let run ?until t =
   t.stopped <- false;

@@ -5,7 +5,10 @@
     and blocks on external events with {!suspend}; higher-level
     synchronisation ({!Cond}, {!Mailbox}, {!Resource}) is built on these
     two primitives. Execution is fully deterministic: simultaneous events
-    run in scheduling order. *)
+    run in scheduling order under the default {b FIFO} tie-break, or in a
+    seeded-shuffled order under {!set_tiebreak} — the analysis layer's
+    schedule perturbation (same-timestamp reordering only; timestamps
+    themselves never move). *)
 
 type t
 
@@ -21,10 +24,21 @@ val uid : t -> int
 
 val now : t -> Time.ns
 
-val spawn : t -> ?name:string -> (unit -> unit) -> unit
-(** Start a fiber at the current virtual time. *)
+val set_tiebreak : t -> [ `Fifo | `Seeded_shuffle of int ] -> unit
+(** Dispatch policy for same-timestamp tasks. [`Fifo] (the default)
+    runs them in scheduling order; [`Seeded_shuffle seed] assigns each
+    subsequently scheduled task a priority drawn from a seeded PRNG, so
+    simultaneous events dispatch in a reproducible shuffled order. Same
+    seed, same schedule — a divergence found under one seed replays
+    deterministically. Affects only tasks scheduled after the call. *)
 
-val spawn_at : t -> ?name:string -> Time.ns -> (unit -> unit) -> unit
+val spawn : t -> ?name:string -> ?daemon:bool -> (unit -> unit) -> unit
+(** Start a fiber at the current virtual time. [daemon] marks
+    infrastructure fibers expected to stay parked forever (dispatch
+    loops, protocol service fibers); deadlock diagnosis reports
+    non-daemon parked fibers only. *)
+
+val spawn_at : t -> ?name:string -> ?daemon:bool -> Time.ns -> (unit -> unit) -> unit
 
 val at : t -> Time.ns -> (unit -> unit) -> unit
 (** Schedule a plain (non-fiber) callback at an absolute time. The
@@ -34,12 +48,15 @@ val delay : t -> Time.ns -> unit
 (** [delay sim d] suspends the calling fiber for [d] nanoseconds of
     virtual time. [d <= 0] is a no-op. Must be called from a fiber. *)
 
-val suspend : t -> ((unit -> unit) -> unit) -> unit
+val suspend : t -> ?label:string -> ((unit -> unit) -> unit) -> unit
 (** [suspend sim register] parks the calling fiber and calls
     [register resume]. Calling [resume] (from any context) schedules the
     fiber to continue at the then-current virtual time; second and later
     calls to [resume] are ignored, so racing wake-ups (e.g. a timeout and
-    a signal) are safe. *)
+    a signal) are safe. [label] names the suspend site in
+    {!blocked_report} (deadlock diagnosis). If [register] itself raises,
+    the fiber is accounted dead (not blocked) and the exception escapes
+    as {!Fiber_failure}. *)
 
 val run : ?until:Time.ns -> t -> [ `Quiescent | `Time_limit | `Stopped ]
 (** Execute events until the queue drains ([`Quiescent]), virtual time
@@ -51,7 +68,23 @@ val stop : t -> unit
 val blocked_fibers : t -> int
 (** Number of fibers currently parked in {!suspend}. After a [`Quiescent]
     run this being non-zero means those fibers can never resume —
-    i.e. deadlock (the situation of Figure 7 of the paper). *)
+    i.e. deadlock (the situation of Figure 7 of the paper) for non-daemon
+    fibers, or ordinary idling for daemon service loops. *)
+
+type parked = {
+  fiber : string;  (** fiber name given to {!spawn} *)
+  label : string;  (** suspend-site label ({!Cond}/{!Mailbox} creation label) *)
+  since : Time.ns;  (** virtual time the fiber parked *)
+  daemon : bool;
+}
+
+val blocked_report : t -> parked list
+(** Every currently parked fiber with what it suspended on, oldest
+    first. The wait-for report behind deadlock diagnosis. *)
+
+val current_fiber : t -> string
+(** Name of the fiber currently executing ("main" outside any fiber).
+    Lets invariant violations name their offending fiber. *)
 
 val live_fibers : t -> int
 val events_executed : t -> int

@@ -185,7 +185,7 @@ let create sim model net ~node =
           Mailbox.send t.fwd_queue (Fwd_arrive (src, tag, Some frame))
         | None -> t.firmware_rx frame
       end);
-  Sim.spawn sim ~name:(name "fwd") (fwd_fiber t);
+  Sim.spawn sim ~name:(name "fwd") ~daemon:true (fwd_fiber t);
   t
 
 let node_id t = t.node_id

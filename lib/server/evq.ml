@@ -32,7 +32,7 @@ let create sim ~node =
     node;
     metrics = Metrics.for_sim sim;
     ready = Queue.create ();
-    cond = Cond.create sim;
+    cond = Cond.create ~label:(Printf.sprintf "evq:%d" node) sim;
     kicked = false;
     last_batch = [];
     n_registered = 0;

@@ -182,7 +182,7 @@ let start sim ~node ?(config = default_config) ~listener ~handler () =
       listener;
       handler;
       evq = Evq.create sim ~node;
-      runq = Mailbox.create sim;
+      runq = Mailbox.create ~label:(Printf.sprintf "sched:%d runq" node) sim;
       metrics = Metrics.for_sim sim;
       conns = Hashtbl.create 64;
       next_id = 0;
@@ -195,9 +195,15 @@ let start sim ~node ?(config = default_config) ~listener ~handler () =
   ignore
     (Evq.register t.evq ~readable:listener.acceptable
        ~watch:listener.watch_accept Accept);
-  Sim.spawn sim ~name:(Printf.sprintf "sched-dispatch-%d" node) (dispatcher t);
+  (* Dispatcher and workers idle forever between requests; like the
+     protocol service fibers they are daemons for deadlock detection. *)
+  Sim.spawn sim
+    ~name:(Printf.sprintf "sched-dispatch-%d" node)
+    ~daemon:true (dispatcher t);
   for i = 1 to config.workers do
-    Sim.spawn sim ~name:(Printf.sprintf "sched-worker-%d.%d" node i) (worker t)
+    Sim.spawn sim
+      ~name:(Printf.sprintf "sched-worker-%d.%d" node i)
+      ~daemon:true (worker t)
   done;
   t
 

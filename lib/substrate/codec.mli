@@ -1,0 +1,22 @@
+(** Fixed-width little-endian integer framing for the substrate's
+    control messages and eager-data headers. *)
+
+val int_bytes : int
+(** Bytes per encoded integer (8). *)
+
+exception Protocol_error of string
+(** A peer sent a control message the substrate cannot decode (wrong
+    size or shape). Raised instead of asserting so the failure names the
+    connection and message kind. *)
+
+val protocol_error : ('a, unit, string, 'b) format4 -> 'a
+(** [protocol_error fmt ...] formats a message and raises
+    {!Protocol_error}. *)
+
+val encode : int list -> string
+
+val decode : ?count:int -> string -> int list
+(** Decode up to [count] integers (all that fit when omitted). *)
+
+val decode_region : Uls_host.Memory.region -> off:int -> count:int -> int list
+(** Decode [count] integers straight out of a receive buffer. *)

@@ -96,6 +96,7 @@ type t = {
       notification path); fired on data arrival, EOF and reset *)
   metrics : Metrics.t;
   trace : Trace.t;
+  inv : Invariant.t;
 }
 
 exception Closed = Uls_api.Sockets_api.Connection_closed
@@ -167,7 +168,12 @@ let take_credit t =
       Cond.wait t.credits_c;
       wait ()
     end
-    else t.credits <- t.credits - 1
+    else begin
+      t.credits <- t.credits - 1;
+      Invariant.check t.inv ~name:"sub.credit_range" (t.credits >= 0)
+        (fun () ->
+          Printf.sprintf "conn %d: credits went negative (%d)" t.id t.credits)
+    end
   in
   if t.credits = 0 && not (t.closed || t.peer_closed || t.reset) then begin
     (* Writer stalled on flow control: account how long (§6.1). *)
@@ -189,6 +195,14 @@ let take_credit t =
 let add_credits t n =
   if n > 0 then begin
     t.credits <- t.credits + n;
+    (* Conservation (§6.1): the receiver acks exactly what it consumed,
+       so restored credits can never exceed the provisioned window — a
+       double-granted ack shows up here. *)
+    Invariant.check t.inv ~name:"sub.credit_range"
+      (t.credits <= (opts t).Options.credits)
+      (fun () ->
+        Printf.sprintf "conn %d: credits %d exceed window %d (double grant?)"
+          t.id t.credits (opts t).Options.credits);
     Cond.broadcast t.credits_c
   end
 
@@ -719,6 +733,25 @@ let mark_reset t =
   end
 
 let is_reset t = t.reset
+let is_closed t = t.closed
+
+(* Test fixture: re-post one receive slot as if close had missed it —
+   the seeded known-bad input for the sanitizer's leak scan. *)
+let debug_leak_slot t =
+  ignore (post_slot t t.data_slots.(0) ~tag:(Tags.make Tags.Data t.id))
+
+(* Receive-slot leak scan (sanitizer): after [close]/[mark_reset] every
+   slot's descriptor must have been unposted or consumed. *)
+let leaked_slots t =
+  let count = ref 0 in
+  let chk slot = if slot.sl_current <> None then incr count in
+  Array.iter chk t.data_slots;
+  Queue.iter chk t.spare_slots;
+  Array.iter chk t.ack_slots;
+  chk t.req_slot;
+  chk t.grant_slot;
+  chk t.close_slot;
+  !count
 
 let create env ~id ~peer_node ~peer_conn ~local_addr ~peer_addr =
   let opts = env.opts in
@@ -741,7 +774,10 @@ let create env ~id ~peer_node ~peer_conn ~local_addr ~peer_addr =
       local_addr;
       peer_addr;
       credits = n;
-      credits_c = Cond.create (Node.sim env.node);
+      credits_c =
+        Cond.create
+          ~label:(Printf.sprintf "conn:%d credits" id)
+          (Node.sim env.node);
       next_seq = 0;
       next_rdvz = 0;
       data_pool =
@@ -751,7 +787,10 @@ let create env ~id ~peer_node ~peer_conn ~local_addr ~peer_addr =
       rdvz_tx_pending = None;
       rdvz_rx = Memory.alloc 16;
       granted = Hashtbl.create 4;
-      grant_c = Cond.create (Node.sim env.node);
+      grant_c =
+        Cond.create
+          ~label:(Printf.sprintf "conn:%d grant" id)
+          (Node.sim env.node);
       rdvz_leftover = "";
       data_slots = Array.init n (fun _ -> mk_slot opts.Options.buffer_size);
       spare_slots =
@@ -768,13 +807,19 @@ let create env ~id ~peer_node ~peer_conn ~local_addr ~peer_addr =
       req_slot = mk_slot 64;
       grant_slot = mk_slot 64;
       close_slot = mk_slot 16;
-      rx_handles = Mailbox.create (Node.sim env.node);
+      rx_handles =
+        Mailbox.create
+          ~label:(Printf.sprintf "conn:%d rx-handles" id)
+          (Node.sim env.node);
       rx_ready = Hashtbl.create 64;
       req_q = Hashtbl.create 16;
       expected_seq = 0;
       consumed_since_ack = 0;
       ack_holdoff_armed = false;
-      readable_c = Cond.create (Node.sim env.node);
+      readable_c =
+        Cond.create
+          ~label:(Printf.sprintf "conn:%d readable" id)
+          (Node.sim env.node);
       watchers = [];
       peer_closed = false;
       close_seq = max_int;
@@ -782,6 +827,7 @@ let create env ~id ~peer_node ~peer_conn ~local_addr ~peer_addr =
       reset = false;
       metrics = Metrics.for_sim (Node.sim env.node);
       trace = Trace.for_sim (Node.sim env.node);
+      inv = Invariant.for_sim (Node.sim env.node);
     }
   in
   (* Post the connection's descriptors: N data (+ N ack unless UQ) plus
@@ -790,15 +836,17 @@ let create env ~id ~peer_node ~peer_conn ~local_addr ~peer_addr =
   Array.iter
     (fun slot ->
       ignore (post_slot t slot ~tag:(Tags.make Tags.Credit_ack t.id));
-      Sim.spawn (sim t) ~name:"sub-ack" (ack_fiber t slot))
+      Sim.spawn (sim t) ~name:"sub-ack" ~daemon:true (ack_fiber t slot))
     t.ack_slots;
   ignore (post_slot t t.req_slot ~tag:(Tags.make Tags.Rdvz_request t.id));
   ignore (post_slot t t.grant_slot ~tag:(Tags.make Tags.Rdvz_grant t.id));
   ignore (post_slot t t.close_slot ~tag:(Tags.make Tags.Close t.id));
-  Sim.spawn (sim t) ~name:"sub-rx" (rx_fiber t);
+  (* Service fibers park forever once the connection quiesces, so they
+     are daemons: only application fibers count for deadlock detection. *)
+  Sim.spawn (sim t) ~name:"sub-rx" ~daemon:true (rx_fiber t);
   if opts.Options.unexpected_queue then
-    Sim.spawn (sim t) ~name:"sub-uq-ack" (uq_ack_fiber t);
-  Sim.spawn (sim t) ~name:"sub-req" (req_fiber t);
-  Sim.spawn (sim t) ~name:"sub-grant" (grant_fiber t);
-  Sim.spawn (sim t) ~name:"sub-close" (close_watch_fiber t);
+    Sim.spawn (sim t) ~name:"sub-uq-ack" ~daemon:true (uq_ack_fiber t);
+  Sim.spawn (sim t) ~name:"sub-req" ~daemon:true (req_fiber t);
+  Sim.spawn (sim t) ~name:"sub-grant" ~daemon:true (grant_fiber t);
+  Sim.spawn (sim t) ~name:"sub-close" ~daemon:true (close_watch_fiber t);
   t

@@ -79,3 +79,21 @@ val mark_reset : t -> unit
     {!close}. *)
 
 val is_reset : t -> bool
+val is_closed : t -> bool
+
+val leaked_slots : t -> int
+(** Receive slots whose descriptor is still posted. Meaningful after
+    {!close}/{!mark_reset}, where any non-zero count is a descriptor
+    leak — the analysis layer's leak sanitizer checks this. *)
+
+val add_credits : t -> int -> unit
+(** Restore send credits (the receive path's grant entry: piggy-backed
+    header fields and credit-ack messages land here). The credit-range
+    monitor ([sub.credit_range]) fires when a grant pushes credits past
+    the provisioned window — a double-granted ack. Exposed so the
+    sanitizer tests can inject exactly that known-bad grant. *)
+
+val debug_leak_slot : t -> unit
+(** Test fixture: re-post one receive slot as if {!close} had missed it,
+    so the leak sanitizer has a real leaked descriptor to find. Must be
+    called from a fiber. *)

@@ -18,6 +18,15 @@ type t = {
   mutable next : int;
 }
 
+(* Every pool of a simulation, for the analysis layer's leak scan (keyed
+   by Sim uid, like Metrics). *)
+let registry : (int, t list ref) Hashtbl.t = Hashtbl.create 8
+
+let pools_for_sim sim =
+  match Hashtbl.find_opt registry (Uls_engine.Sim.uid sim) with
+  | Some l -> !l
+  | None -> []
+
 let create node emp ~slots ~size =
   let mk _ =
     let region = Memory.alloc size in
@@ -26,7 +35,20 @@ let create node emp ~slots ~size =
     Os.prepin (Node.os node) region;
     { region; pending = None }
   in
-  { emp; slots = Array.init slots mk; next = 0 }
+  let t = { emp; slots = Array.init slots mk; next = 0 } in
+  let key = Uls_engine.Sim.uid (Node.sim node) in
+  (match Hashtbl.find_opt registry key with
+  | Some l -> l := t :: !l
+  | None -> Hashtbl.replace registry key (ref [ t ]));
+  t
+
+let in_flight t =
+  Array.fold_left
+    (fun acc slot ->
+      match slot.pending with
+      | Some s when (not (E.send_done s)) && not (E.send_failed s) -> acc + 1
+      | _ -> acc)
+    0 t.slots
 
 let slot_size t = Memory.length t.slots.(0).region
 

@@ -1,0 +1,27 @@
+(** Ring of reusable, registered send buffers. The real substrate
+    transmits from user/library buffers that are pinned once and hit the
+    EMP translation cache afterwards (§2); modelling each message as a
+    fresh region would charge a pin system call per send. A slot is
+    reused once its previous send has been fully acknowledged. *)
+
+type t
+
+val create :
+  Uls_host.Node.t -> Uls_emp.Endpoint.t -> slots:int -> size:int -> t
+(** Allocate and register [slots] ring buffers of [size] bytes each. *)
+
+val slot_size : t -> int
+
+val send : t -> dst:int -> tag:int -> string -> Uls_emp.Endpoint.send
+(** Copy the payload into the next ring slot and post the send. Blocks
+    only when the ring wraps onto a send that is still in flight. The
+    blit is free of simulated cost: it models the application reusing
+    its own (already pinned) buffer, not an extra protocol copy. *)
+
+val in_flight : t -> int
+(** Slots whose send is neither acknowledged nor failed. At quiescence a
+    non-zero count means acknowledgments can no longer arrive — the
+    memory-region leak sanitizer flags it. *)
+
+val pools_for_sim : Uls_engine.Sim.t -> t list
+(** Every pool created under this simulation (for the leak scan). *)

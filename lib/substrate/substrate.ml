@@ -51,6 +51,13 @@ let options t = t.opts
 let emp t = t.emp
 let active_connections t = Hashtbl.length t.conns
 
+let conn_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.conns [] |> List.sort compare
+
+let conns t =
+  Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
+  |> List.sort (fun a b -> compare (Conn.id a) (Conn.id b))
+
 (* A send that exhausted every retransmission round names a dead
    connection: route the failed message's tag back to the connection that
    owns it (our conn whose peer is [(dst, id)]) and reset it, so blocked
@@ -114,14 +121,14 @@ let create ?(opts = Options.data_streaming_enhanced) node emp =
       conns = Hashtbl.create 32;
       listeners = Hashtbl.create 8;
       accepted = Hashtbl.create 32;
-      activity = Cond.create (Node.sim node);
+      activity = Cond.create ~label:"sub:activity" (Node.sim node);
       next_id = 0;
       next_eport = 40_000;
     }
   in
   E.set_send_failure_handler emp (on_send_failure t);
   if opts.Options.unexpected_queue then
-    Sim.spawn (Node.sim node) ~name:"sub-refuse" (refusal_fiber t);
+    Sim.spawn (Node.sim node) ~name:"sub-refuse" ~daemon:true (refusal_fiber t);
   t
 
 let alloc_id t =
@@ -193,13 +200,15 @@ let listen t ~port ~backlog =
   let l =
     {
       l_port = port;
-      l_requests = Mailbox.create (sim t);
+      l_requests =
+        Mailbox.create ~label:(Printf.sprintf "listen:%d requests" port) (sim t);
       l_slots =
         Array.init backlog (fun _ ->
             let region = Memory.alloc t.opts.Options.backlog_request_bytes in
             Os.prepin (Node.os t.node) region;
             { Conn.sl_region = region; sl_current = None });
-      l_handles = Mailbox.create (sim t);
+      l_handles =
+        Mailbox.create ~label:(Printf.sprintf "listen:%d handles" port) (sim t);
       l_watchers = [];
       l_closed = false;
     }
@@ -216,7 +225,7 @@ let listen t ~port ~backlog =
       Mailbox.send l.l_handles (slot, r))
     l.l_slots;
   Hashtbl.replace t.listeners port l;
-  Sim.spawn (sim t) ~name:"sub-listen" (listener_fiber t l);
+  Sim.spawn (sim t) ~name:"sub-listen" ~daemon:true (listener_fiber t l);
   l
 
 (* Non-blocking: drains duplicate requests (a retried connect whose

@@ -29,6 +29,14 @@ val activity : t -> Uls_engine.Cond.t
 val active_connections : t -> int
 (** Size of the active-socket table (§5.3). *)
 
+val conn_ids : t -> int list
+(** Ids of every open connection, sorted — the race detector hashes this
+    connection table into its final-state fingerprint. *)
+
+val conns : t -> Conn.t list
+(** The open connections themselves, sorted by id (the leak sanitizer
+    walks them). *)
+
 val listen : t -> port:int -> backlog:int -> listener
 (** Pre-posts [backlog] connection-request descriptors. Ports are 12-bit
     (tag-encoded). @raise Uls_api.Sockets_api.Bind_in_use *)

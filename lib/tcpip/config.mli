@@ -1,0 +1,23 @@
+(** Tunables of the kernel stack. [default] models the stock Linux
+    2.4.18 setup of the paper (16 KB socket buffers); §7.2 tunes the
+    buffers upward, which experiments do via [with_buffers]. *)
+
+type t = {
+  sndbuf : int;
+  rcvbuf : int;
+  min_rto : Uls_engine.Time.ns;
+  delack_timeout : Uls_engine.Time.ns;
+  ack_every : int;  (** ack after this many full segments *)
+  persist_interval : Uls_engine.Time.ns;  (** zero-window probe period *)
+  time_wait : Uls_engine.Time.ns;
+  congestion_control : bool;  (** slow start + congestion avoidance *)
+  initial_cwnd_segments : int;  (** Linux 2.4: 2 *)
+  rx_coalesce : Uls_engine.Time.ns;  (** NIC interrupt coalescing delay *)
+  rx_coalesce_frames : int;  (** ... or after this many frames *)
+  accept_backlog_default : int;
+}
+
+val default : t
+
+val with_buffers : t -> int -> t
+(** Same configuration with [sndbuf] and [rcvbuf] set to the given size. *)

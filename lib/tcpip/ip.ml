@@ -210,5 +210,5 @@ let create node nic ~cpu ~config =
           t.rx_frames <- t.rx_frames + 1;
           Queue.push frame t.pending;
           Cond.signal t.arrival));
-  Sim.spawn (Node.sim node) ~name:"ip-dispatch" (dispatcher t);
+  Sim.spawn (Node.sim node) ~name:"ip-dispatch" ~daemon:true (dispatcher t);
   t

@@ -110,17 +110,15 @@ let handle_syn t ~src (seg : Segment.tcp_segment) =
     let remote = { Uls_api.Sockets_api.node = src; port = seg.Segment.src_port } in
     let c = Tcp_conn.accept_syn (env_of t) ~local ~remote seg in
     l.l_pending <- l.l_pending + 1;
-    c.Tcp_conn.on_established <-
-      Some
-        (fun c ->
-          l.l_pending <- l.l_pending - 1;
-          if l.l_closed then Tcp_conn.app_close c
-          else begin
-            Queue.push c l.accept_q;
-            Cond.signal l.accept_c;
-            Cond.broadcast t.activity;
-            List.iter (fun f -> f ()) l.l_watchers
-          end);
+    Tcp_conn.set_on_established c (fun c ->
+        l.l_pending <- l.l_pending - 1;
+        if l.l_closed then Tcp_conn.app_close c
+        else begin
+          Queue.push c l.accept_q;
+          Cond.signal l.accept_c;
+          Cond.broadcast t.activity;
+          List.iter (fun f -> f ()) l.l_watchers
+        end);
     Hashtbl.replace t.conns
       (conn_key ~local_port:seg.Segment.dst_port ~remote)
       c
@@ -255,7 +253,7 @@ let connect t (remote : addr) =
     | Tcp_conn.Closed_st -> raise (Refused remote)
     | _ ->
       if tries > 6 then raise (Refused remote);
-      (match Cond.wait_timeout c.Tcp_conn.state_c t.config.Config.min_rto with
+      (match Cond.wait_timeout (Tcp_conn.state_cond c) t.config.Config.min_rto with
       | `Ok -> ()
       | `Timeout -> Tcp_conn.resend_syn c);
       await (tries + 1)

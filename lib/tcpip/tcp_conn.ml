@@ -589,13 +589,13 @@ let make env ~local ~remote ~state =
       app_closed = false;
       on_established = None;
       watchers = [];
-      readable_c = Cond.create (Node.sim env.node);
-      writable_c = Cond.create (Node.sim env.node);
-      state_c = Cond.create (Node.sim env.node);
-      send_c = Cond.create (Node.sim env.node);
+      readable_c = Cond.create ~label:"tcp:readable" (Node.sim env.node);
+      writable_c = Cond.create ~label:"tcp:writable" (Node.sim env.node);
+      state_c = Cond.create ~label:"tcp:state" (Node.sim env.node);
+      send_c = Cond.create ~label:"tcp:send" (Node.sim env.node);
     }
   in
-  Sim.spawn (Node.sim env.node) ~name:"tcp-sender" (sender_fiber t);
+  Sim.spawn (Node.sim env.node) ~name:"tcp-sender" ~daemon:true (sender_fiber t);
   t
 
 (* Client side: create in SYN_SENT and transmit the SYN. *)
@@ -616,3 +616,5 @@ let resend_syn t =
   if t.state = Syn_sent then emit t ~flags:(Segment.flag ~syn:true ()) ~seq:0 ()
 
 let retransmit_count t = t.retransmits
+let set_on_established t f = t.on_established <- Some f
+let state_cond t = t.state_c
