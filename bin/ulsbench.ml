@@ -70,6 +70,28 @@ let metrics_flag =
 
 let dump_metrics m = Uls_engine.Metrics.dump m Format.std_formatter
 
+(* Machine-tracked perf records: one JSON object per run, appended to a
+   BENCH_*.json file so the trajectory accumulates across commits.
+   Values arrive pre-rendered (ints, %.3f floats, quoted strings). *)
+let emit_json ~file fields =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
+  let buf = Buffer.create 512 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%S:%s" k v))
+    fields;
+  Buffer.add_string buf "}\n";
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "record appended -> %s\n" file
+
+let json_int i = string_of_int i
+let json_float f = Printf.sprintf "%.3f" f
+let json_str s = Printf.sprintf "%S" s
+let json_bool b = if b then "true" else "false"
+
 let latency_cmd =
   let stack =
     Arg.(value & opt stack_conv `Ds & info [ "stack" ] ~docv:"STACK"
@@ -321,8 +343,44 @@ let serve_cmd =
     Load.print_report Format.std_formatter cfg r;
     r
   in
+  let serve_json cfg (r : Load.report) =
+    emit_json ~file:"BENCH_serve.json"
+      [
+        ("bench", json_str "serve");
+        ("stack", json_str (Chaos.kind_name cfg.Load.kind));
+        ("workload",
+         json_str
+           (match cfg.Load.workload with Load.Echo -> "echo" | Load.Http -> "http"));
+        ("loop",
+         json_str
+           (match cfg.Load.loop with
+           | Load.Closed -> "closed"
+           | Load.Open r -> Printf.sprintf "open@%.0f" r));
+        ("conns", json_int cfg.Load.conns);
+        ("requests_per_conn", json_int cfg.Load.requests_per_conn);
+        ("size", json_int cfg.Load.size);
+        ("seed", json_int cfg.Load.seed);
+        ("loss", json_float cfg.Load.loss);
+        ("sent", json_int r.Load.sent);
+        ("completed", json_int r.Load.completed);
+        ("shed", json_int r.Load.shed);
+        ("refused", json_int r.Load.refused);
+        ("errors", json_int r.Load.errors);
+        ("mismatches", json_int r.Load.mismatches);
+        ("peak_open", json_int r.Load.peak_open);
+        ("elapsed_ms", json_float r.Load.elapsed_ms);
+        ("rps", json_float r.Load.rps);
+        ("mean_us", json_float r.Load.mean_us);
+        ("p50_us", json_float r.Load.p50_us);
+        ("p95_us", json_float r.Load.p95_us);
+        ("p99_us", json_float r.Load.p99_us);
+        ("p999_us", json_float r.Load.p999_us);
+        ("intact", json_bool r.Load.intact);
+        ("completed_run", json_bool r.Load.completed_run);
+      ]
+  in
   let run stack conns requests size workload open_loop think seed loss clients
-      backlog workers max_inflight smoke metrics =
+      backlog workers max_inflight smoke metrics json =
     let on_metrics = if metrics then Some dump_metrics else None in
     if smoke then begin
       (* Pinned-seed CI matrix; flags other than --metrics are ignored. *)
@@ -336,7 +394,7 @@ let serve_cmd =
         if
           not
             (r.Load.completed_run && r.Load.intact && r.Load.errors = 0
-           && r.Load.refused = 0 && r.Load.mismatches = 0
+           && r.Load.shed = 0 && r.Load.refused = 0 && r.Load.mismatches = 0
            && r.Load.completed = r.Load.sent)
         then incr failures
       in
@@ -364,6 +422,7 @@ let serve_cmd =
           ~seed ~loss ~clients ~backlog ~workers ~max_inflight
       in
       let r = run_one ?on_metrics cfg in
+      if json then serve_json cfg r;
       if not (r.Load.completed_run && r.Load.intact) then exit 1
     end
   in
@@ -375,7 +434,261 @@ let serve_cmd =
           open- or closed-loop; prints throughput and latency percentiles")
     Term.(const run $ stack $ conns $ requests $ size $ workload $ open_loop
           $ think $ seed $ loss $ clients $ backlog $ workers $ max_inflight
-          $ smoke $ metrics_flag)
+          $ smoke $ metrics_flag
+          $ Arg.(value & flag & info [ "json" ]
+                   ~doc:"Append a JSON record to BENCH_serve.json."))
+
+(* --- fabric ------------------------------------------------------------- *)
+
+let fabric_cmd =
+  let open Uls_bench in
+  let stack =
+    Arg.(value & opt stack_conv `Ds & info [ "stack" ] ~docv:"STACK"
+           ~doc:"tcp | tcp-tuned | ds | ds-base | dg.")
+  in
+  let fabric_kind = function
+    | `Emp ->
+      prerr_endline "ulsbench fabric: raw EMP has no sockets stream; use ds/dg";
+      exit 124
+    | `Tcp -> Chaos.Tcp Uls_tcp.Config.default
+    | `Tcp_tuned -> Chaos.Tcp Uls_tcp.Config.(with_buffers default 262_144)
+    | `Ds -> Chaos.Sub Uls_substrate.Options.server
+    | `Ds_base -> Chaos.Sub Uls_substrate.Options.data_streaming
+    | `Dg -> Chaos.Sub Uls_substrate.Options.datagram
+  in
+  (* "CELL@MS": cell id and a virtual-time instant in milliseconds. *)
+  let cell_at_conv =
+    let parse s =
+      match String.split_on_char '@' s with
+      | [ c; ms ] -> (
+        try Ok (int_of_string c, int_of_string ms)
+        with _ -> Error (`Msg (Printf.sprintf "bad CELL@MS %S" s)))
+      | _ -> Error (`Msg (Printf.sprintf "bad CELL@MS %S" s))
+    in
+    let print fmt (c, ms) =
+      Format.pp_print_string fmt (Printf.sprintf "%d@%d" c ms)
+    in
+    Arg.conv (parse, print)
+  in
+  let cells =
+    Arg.(value & opt int 4 & info [ "cells" ] ~docv:"K"
+           ~doc:"Server cells behind the balancer.")
+  in
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N"
+           ~doc:"SO_REUSEPORT listener shards (schedulers) per cell.")
+  in
+  let conns =
+    Arg.(value & opt int 2048 & info [ "conns" ] ~docv:"N"
+           ~doc:"Total connection arrivals over the run.")
+  in
+  let requests =
+    Arg.(value & opt int 2 & info [ "requests" ] ~docv:"N"
+           ~doc:"Requests per connection.")
+  in
+  let size =
+    Arg.(value & opt int 256 & info [ "size" ] ~docv:"BYTES"
+           ~doc:"Echo payload size.")
+  in
+  let rate =
+    Arg.(value & opt float 4_000. & info [ "rate" ] ~docv:"CONN/S"
+           ~doc:"Open-loop connection arrival rate, fleet-wide.")
+  in
+  let think =
+    Arg.(value & opt float 0. & info [ "think" ] ~docv:"US"
+           ~doc:"Mean think time between a connection's requests (us); \
+                 raises concurrency (rate x lifetime).")
+  in
+  let clients =
+    Arg.(value & opt int 0 & info [ "clients" ] ~docv:"N"
+           ~doc:"Client nodes (0 = auto: enough to keep per-node NIC \
+                 match walks short).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+                    ~doc:"Rng seed; same seed, same run.") in
+  let loss =
+    Arg.(value & opt float 0. & info [ "loss" ] ~docv:"P"
+           ~doc:"Uniform frame-loss probability.")
+  in
+  let max_inflight =
+    Arg.(value & opt int 0 & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"Per-shard admission limit (0 = unlimited).")
+  in
+  let backlog =
+    Arg.(value & opt int 128 & info [ "backlog" ] ~docv:"N"
+           ~doc:"Per-cell listen backlog. Every posted backlog \
+                 descriptor is walked by the cell NIC on each RX \
+                 frame; keep it modest.")
+  in
+  let vnodes =
+    Arg.(value & opt int 128 & info [ "vnodes" ] ~docv:"N"
+           ~doc:"Consistent-hash virtual nodes per cell.")
+  in
+  let kill =
+    Arg.(value & opt (some cell_at_conv) None & info [ "kill" ] ~docv:"CELL@MS"
+           ~doc:"Pause this cell's node (all frames dropped) at this \
+                 virtual time; the health checker must heal the ring.")
+  in
+  let drain =
+    Arg.(value & opt (some cell_at_conv) None & info [ "drain" ] ~docv:"CELL@MS"
+           ~doc:"Gracefully drain this cell at this virtual time.")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"CI mode: pinned-seed cell x stack matrix plus a \
+                 kill-failover run and a determinism double-run; non-zero \
+                 exit on any hang, mismatch or divergence.")
+  in
+  let auto_clients cells conns = max 4 (min 64 (max cells ((conns + 2047) / 2048) * 4)) in
+  let build ~stack ~cells ~shards ~conns ~requests ~size ~rate ~think ~clients
+      ~seed ~loss ~max_inflight ~backlog ~vnodes ~kill ~drain =
+    {
+      Fleet.default with
+      kind = fabric_kind stack;
+      cells;
+      shards;
+      conns;
+      requests_per_conn = requests;
+      size;
+      rate;
+      think = think *. 1e3;
+      client_nodes = (if clients > 0 then clients else auto_clients cells conns);
+      seed;
+      loss;
+      max_inflight;
+      backlog;
+      vnodes;
+      kill = Option.map (fun (c, ms) -> (c, Uls_engine.Time.ms ms)) kill;
+      drain = Option.map (fun (c, ms) -> (c, Uls_engine.Time.ms ms)) drain;
+    }
+  in
+  let fabric_json (cfg : Fleet.config) (r : Fleet.report) =
+    emit_json ~file:"BENCH_fabric.json"
+      ([
+         ("bench", json_str "fabric");
+         ("stack", json_str (Chaos.kind_name cfg.Fleet.kind));
+         ("cells", json_int cfg.Fleet.cells);
+         ("shards", json_int cfg.Fleet.shards);
+         ("conns", json_int cfg.Fleet.conns);
+         ("requests_per_conn", json_int cfg.Fleet.requests_per_conn);
+         ("size", json_int cfg.Fleet.size);
+         ("rate", json_float cfg.Fleet.rate);
+         ("seed", json_int cfg.Fleet.seed);
+         ("loss", json_float cfg.Fleet.loss);
+         ("kill", json_bool (cfg.Fleet.kill <> None));
+         ("drain", json_bool (cfg.Fleet.drain <> None));
+         ("established", json_int r.Fleet.established);
+         ("completed", json_int r.Fleet.completed);
+         ("shed", json_int r.Fleet.shed);
+         ("refused", json_int r.Fleet.refused);
+         ("resets", json_int r.Fleet.resets);
+         ("errors", json_int r.Fleet.errors);
+         ("mismatches", json_int r.Fleet.mismatches);
+         ("remapped", json_int r.Fleet.remapped);
+         ("peak_open", json_int r.Fleet.peak_open);
+         ("peak_cell_open", json_int r.Fleet.peak_cell_open);
+         ("healed_at_ms", json_float r.Fleet.healed_at_ms);
+         ("drained_at_ms", json_float r.Fleet.drained_at_ms);
+         ("elapsed_ms", json_float r.Fleet.elapsed_ms);
+         ("rps", json_float r.Fleet.rps);
+         ("mean_us", json_float r.Fleet.mean_us);
+         ("p50_us", json_float r.Fleet.p50_us);
+         ("p95_us", json_float r.Fleet.p95_us);
+         ("p99_us", json_float r.Fleet.p99_us);
+         ("p999_us", json_float r.Fleet.p999_us);
+         ("intact", json_bool r.Fleet.intact);
+         ("completed_run", json_bool r.Fleet.completed_run);
+       ])
+  in
+  let run stack cells shards conns requests size rate think clients seed loss
+      max_inflight backlog vnodes kill drain smoke metrics json =
+    let on_metrics = if metrics then Some dump_metrics else None in
+    if smoke then begin
+      (* Pinned-seed CI matrix: cells x stacks, plus one kill-failover
+         run; flags other than --metrics are ignored. *)
+      let failures = ref 0 in
+      let base stack cells =
+        build ~stack ~cells ~shards:2 ~conns:256 ~requests:2 ~size:128
+          ~rate:8_000. ~think:0. ~clients:4 ~seed:42 ~loss:0. ~max_inflight:0
+          ~backlog:128 ~vnodes:64 ~kill:None ~drain:None
+      in
+      let check name ?(allow_failures = false) (r : Fleet.report) =
+        let ok =
+          r.Fleet.completed_run && r.Fleet.intact
+          && (allow_failures
+             || r.Fleet.refused = 0 && r.Fleet.resets = 0
+                && r.Fleet.errors = 0)
+        in
+        if not ok then begin
+          Printf.eprintf "ulsbench fabric --smoke: %s failed\n" name;
+          incr failures
+        end
+      in
+      List.iter
+        (fun (st, cells) ->
+          let cfg = base st cells in
+          Format.printf "--- fabric smoke: %s cells=%d@."
+            (Chaos.kind_name cfg.Fleet.kind) cells;
+          let r = Fleet.run ?on_metrics cfg in
+          Fleet.print_report Format.std_formatter cfg r;
+          check (Printf.sprintf "%s/%d-cell"
+                   (Chaos.kind_name cfg.Fleet.kind) cells) r)
+        [ (`Ds, 1); (`Ds, 4); (`Tcp, 1); (`Tcp, 4) ];
+      (* Kill a cell mid-load on both stacks: the ring must heal and the
+         run must complete with failures confined to the killed cell. *)
+      List.iter
+        (fun st ->
+          let cfg =
+            { (base st 4) with Fleet.kill = Some (1, Uls_engine.Time.ms 8) }
+          in
+          Format.printf "--- fabric smoke: %s kill-failover@."
+            (Chaos.kind_name cfg.Fleet.kind);
+          let r = Fleet.run ?on_metrics cfg in
+          Fleet.print_report Format.std_formatter cfg r;
+          check
+            (Printf.sprintf "%s/kill" (Chaos.kind_name cfg.Fleet.kind))
+            ~allow_failures:true r;
+          if r.Fleet.healed_at_ms < 0. then begin
+            prerr_endline "ulsbench fabric --smoke: ring never healed";
+            incr failures
+          end)
+        [ `Ds; `Tcp ];
+      (* Determinism: same seed, byte-identical report. *)
+      let cfg = base `Ds 4 in
+      let a = Fleet.run cfg and b = Fleet.run cfg in
+      check "determinism" a;
+      if a <> b then begin
+        prerr_endline "ulsbench fabric --smoke: seeded runs diverged";
+        incr failures
+      end;
+      if !failures > 0 then begin
+        Printf.eprintf "ulsbench fabric --smoke: %d failure(s)\n" !failures;
+        exit 1
+      end;
+      print_endline "fabric smoke: ok"
+    end
+    else begin
+      let cfg =
+        build ~stack ~cells ~shards ~conns ~requests ~size ~rate ~think
+          ~clients ~seed ~loss ~max_inflight ~backlog ~vnodes ~kill ~drain
+      in
+      let r = Fleet.run ?on_metrics cfg in
+      Fleet.print_report Format.std_formatter cfg r;
+      if json then fabric_json cfg r;
+      if not (r.Fleet.completed_run && r.Fleet.intact) then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fabric"
+       ~doc:
+         "Sharded serving fabric: L4-balanced server cells (consistent \
+          hashing, SO_REUSEPORT shards) under an open-loop connection \
+          fleet, with optional mid-load cell kill or drain")
+    Term.(const run $ stack $ cells $ shards $ conns $ requests $ size $ rate
+          $ think $ clients $ seed $ loss $ max_inflight $ backlog $ vnodes
+          $ kill $ drain $ smoke $ metrics_flag
+          $ Arg.(value & flag & info [ "json" ]
+                   ~doc:"Append a JSON record to BENCH_fabric.json."))
 
 (* --- trace -------------------------------------------------------------- *)
 
@@ -645,6 +958,7 @@ let () =
             collective_cmd;
             chaos_cmd;
             serve_cmd;
+            fabric_cmd;
             trace_cmd;
             races_cmd;
           ]))

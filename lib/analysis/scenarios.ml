@@ -292,6 +292,52 @@ let grant_fixture ~routed tiebreak =
   let stop = Cluster.run cluster in
   finish cluster ~conns:(ref []) ~observables:obs stop
 
+(* --- fabric-churn: fleet arrivals over the sharded serving fabric ---
+   Unlike the raw-substrate scenarios above, this one drives the whole
+   stack-on-top — ring placement, reuseport demux, per-cell schedulers —
+   through Fleet's open-loop arrival process, and fingerprints the
+   report's schedule-independent facts (placement, completion and
+   failure counts, cell states). Fleet owns its cluster, so the
+   sanitizer/invariant channels are empty here; divergence of the
+   observables across tie-breaks is the signal. *)
+
+let fabric_churn tiebreak =
+  let r =
+    Uls_bench.Fleet.run
+      {
+        Uls_bench.Fleet.default with
+        cells = 3;
+        shards = 2;
+        conns = 32;
+        rate = 20_000.;
+        size = 96;
+        client_nodes = 2;
+        seed = 11;
+        tiebreak = Some tiebreak;
+      }
+  in
+  let open Uls_bench.Fleet in
+  let obs =
+    Printf.sprintf
+      "fleet established=%d completed=%d shed=%d refused=%d resets=%d \
+       errors=%d mismatches=%d no_route=%d remapped=%d quiesced=%b intact=%b"
+      r.established r.completed r.shed r.refused r.resets r.errors
+      r.mismatches r.no_route r.remapped r.completed_run r.intact
+    :: Array.to_list
+         (Array.mapi
+            (fun id c ->
+              Printf.sprintf "cell %d state=%s conns=%d completed=%d shed=%d"
+                id c.c_state c.c_connects c.c_completed c.c_shed)
+            r.per_cell)
+  in
+  {
+    fingerprint = Fingerprint.capture ~observables:obs (Sim.create ()) ~subs:[];
+    violations = [];
+    deadlock = None;
+    leaks = [];
+    stop = (if r.completed_run then `Quiescent else `Time_limit);
+  }
+
 (* --- registry --------------------------------------------------------- *)
 
 let clean_suite =
@@ -319,6 +365,13 @@ let clean_suite =
       sc_descr = "raw-EMP grant protocol with per-request grant routing";
       sc_buggy = false;
       sc_run = grant_fixture ~routed:true;
+    };
+    {
+      sc_name = "fabric-churn";
+      sc_descr = "fleet arrivals over the sharded fabric: placement + \
+                  completion counts are schedule-independent";
+      sc_buggy = false;
+      sc_run = fabric_churn;
     };
   ]
 

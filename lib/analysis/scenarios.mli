@@ -31,8 +31,10 @@ type t = {
 val clean_suite : t list
 (** Scenarios that must stay schedule-independent: streaming echo under
     credit flow control, datagram rendezvous from concurrent clients,
-    connection churn, and the raw-EMP grant protocol with per-request
-    routing. *)
+    connection churn, the raw-EMP grant protocol with per-request
+    routing, and fleet arrivals over the sharded serving fabric (ring
+    placement + completion counts fingerprinted from the fleet
+    report). *)
 
 val buggy_suite : t list
 (** Seeded regressions: currently the PR 2 shared-grant-queue bug,

@@ -46,7 +46,11 @@ type report = {
   sent : int;
   completed : int;
   errors : int;
-  refused : int;
+  shed : int;  (* admission-control rejects: explicit 503 or a close
+                  before the first response — the server declining
+                  work, not failing it *)
+  refused : int;  (* connect-level refusals/timeouts: no connection
+                     was ever established *)
   mismatches : int;
   peak_open : int;
   elapsed_ms : float;
@@ -77,7 +81,7 @@ let echo_payload ~conn ~seq ~size =
 let liveness_bound ~conns = Time.s 60 + (conns * Time.ms 250)
 
 (* A shed echo connection is closed before its first response; an HTTP
-   one gets an explicit 503. Either way: refused, not an error. *)
+   one gets an explicit 503. Either way: shed, not an error. *)
 exception Refused_by_server
 
 (* LOAD_DEBUG=1 prints every swallowed client-side exception — the
@@ -107,7 +111,8 @@ let run ?on_metrics cfg =
   in
   let lat = Stats.Summary.create () in
   let sent = ref 0 and completed = ref 0 in
-  let errors = ref 0 and refused = ref 0 and mismatches = ref 0 in
+  let errors = ref 0 and shed = ref 0 and refused = ref 0 in
+  let mismatches = ref 0 in
   let open_now = ref 0 and peak_open = ref 0 in
   let t_first = ref max_int and t_last = ref 0 in
   let srv = ref None in
@@ -212,6 +217,12 @@ let run ?on_metrics cfg =
       incr open_now;
       if !open_now > !peak_open then peak_open := !open_now;
       Some s
+    | exception ((Api.Connection_refused _ | Api.Connection_timeout _) as e) ->
+      (* connect-level: the server (or its node) never took the flow *)
+      note_error e;
+      arrive ();
+      incr refused;
+      None
     | exception e ->
       note_error e;
       arrive ();
@@ -252,7 +263,7 @@ let run ?on_metrics cfg =
                      (int_of_float (Rng.exponential rng ~mean:cfg.think))
                done
              with
-            | Refused_by_server -> incr refused
+            | Refused_by_server -> incr shed
             | e ->
               note_error e;
               incr errors);
@@ -296,7 +307,7 @@ let run ?on_metrics cfg =
                     true
                   with
                   | Refused_by_server ->
-                    incr refused;
+                    incr shed;
                     false
                   | e ->
                     note_error e;
@@ -326,6 +337,7 @@ let run ?on_metrics cfg =
     sent = !sent;
     completed = !completed;
     errors = !errors;
+    shed = !shed;
     refused = !refused;
     mismatches = !mismatches;
     peak_open = !peak_open;
@@ -341,7 +353,7 @@ let run ?on_metrics cfg =
     p95_us = pct 0.95;
     p99_us = pct 0.99;
     p999_us = pct 0.999;
-    intact = !mismatches = 0 && !errors = 0 && !completed + !refused >= !sent;
+    intact = !mismatches = 0 && !errors = 0 && !completed + !shed >= !sent;
     completed_run = outcome = `Quiescent;
     server_requests = (match !srv with Some s -> Server.requests s | None -> 0);
     evq_wakeups = Metrics.counter_value m ~node:0 "server.evq.wakeups";
@@ -362,8 +374,9 @@ let print_report fmt cfg r =
     (loop_name cfg.loop) cfg.conns cfg.size
     (cfg.conns * cfg.requests_per_conn);
   Format.fprintf fmt
-    "  sent %d  completed %d  refused %d  errors %d  mismatches %d  peak-open %d@."
-    r.sent r.completed r.refused r.errors r.mismatches r.peak_open;
+    "  sent %d  completed %d  shed %d  refused %d  errors %d  mismatches %d  \
+     peak-open %d@."
+    r.sent r.completed r.shed r.refused r.errors r.mismatches r.peak_open;
   Format.fprintf fmt "  elapsed %.2f ms  throughput %.0f req/s@." r.elapsed_ms
     r.rps;
   Format.fprintf fmt

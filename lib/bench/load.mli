@@ -54,7 +54,13 @@ type report = {
   sent : int;
   completed : int;
   errors : int;  (** failed after first completion, or hard failures *)
-  refused : int;  (** shed by admission control (503 / close-on-accept) *)
+  shed : int;
+      (** shed by server admission control (503 / close-on-accept) — the
+          server declining work it was offered, distinct from both
+          [refused] and [errors] *)
+  refused : int;
+      (** connect-level refusals and timeouts: no connection was ever
+          established, so no request was offered *)
   mismatches : int;  (** responses that failed byte verification *)
   peak_open : int;  (** most connections simultaneously open *)
   elapsed_ms : float;  (** first send to last completion, virtual *)
@@ -66,13 +72,23 @@ type report = {
   p999_us : float;
   intact : bool;
       (** no mismatches, no errors, and every sent request accounted for
-          (completed or explicitly refused) *)
+          (completed or explicitly shed) *)
   completed_run : bool;  (** quiesced within the liveness bound *)
   server_requests : int;  (** served according to the server *)
   evq_wakeups : int;
   evq_spurious : int;
   select_streams_scanned : int;  (** the O(n) baseline's counter, for contrast *)
 }
+
+val echo_payload : conn:int -> seq:int -> size:int -> string
+(** Patterned payload, a pure function of (connection, sequence, size):
+    a response delivered to the wrong request — or truncated, shifted
+    or duplicated — never verifies. Shared with the fabric fleet driver
+    ({!Fleet}) so both report byte-exact verification. *)
+
+val liveness_bound : conns:int -> Uls_engine.Time.ns
+(** Virtual-time hang bound, scaled with fleet size (the EMP match walk
+    is O(posted descriptors), so big fleets are legitimately slow). *)
 
 val run : ?on_metrics:(Uls_engine.Metrics.t -> unit) -> config -> report
 (** Build a cluster, start the server on node 0 port 80, drive the

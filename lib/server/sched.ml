@@ -16,10 +16,17 @@ type config = {
   accept_batch : int;
   max_inflight : int;
   reject : string option;
+  embryo_timeout : int;
 }
 
 let default_config =
-  { workers = 4; accept_batch = 16; max_inflight = max_int; reject = None }
+  {
+    workers = 4;
+    accept_batch = 16;
+    max_inflight = max_int;
+    reject = None;
+    embryo_timeout = Time.s 2;
+  }
 
 let chunk = 65_536
 
@@ -27,6 +34,8 @@ type conn = {
   c_id : int;
   c_stream : Api.stream;
   c_react : string -> reaction;
+  mutable c_seen_data : bool;
+      (* a first byte arrived: no longer a half-open embryo *)
   mutable c_open : bool;
   mutable c_queued : bool;
       (* in the run queue (or being processed by a worker): readiness
@@ -50,12 +59,14 @@ type t = {
   conns : (int, conn) Hashtbl.t;
   mutable next_id : int;
   mutable inflight : int;
+  mutable peak_inflight : int;
   mutable accepted : int;
   mutable shed : int;
   mutable running : bool;
 }
 
 let inflight t = t.inflight
+let peak_inflight t = t.peak_inflight
 let accepted t = t.accepted
 let shed t = t.shed
 
@@ -77,6 +88,7 @@ let process t c =
     let data = try c.c_stream.recv chunk with _ -> "" in
     if data = "" then close_conn t c
     else begin
+      c.c_seen_data <- true;
       match c.c_react data with
       | exception _ -> close_conn t c
       | r ->
@@ -121,6 +133,7 @@ let drain_accepts t =
       end
       else begin
         t.inflight <- t.inflight + 1;
+        if t.inflight > t.peak_inflight then t.peak_inflight <- t.inflight;
         t.accepted <- t.accepted + 1;
         Metrics.incr t.metrics ~node:t.node "server.sched.accepts";
         let c =
@@ -128,6 +141,7 @@ let drain_accepts t =
             c_id = t.next_id;
             c_stream = stream;
             c_react = t.handler peer;
+            c_seen_data = false;
             c_open = true;
             c_queued = false;
             c_handle = None;
@@ -144,7 +158,23 @@ let drain_accepts t =
         c.c_handle <-
           Some
             (Evq.register t.evq ~mode:Evq.Edge ~readable:stream.readable
-               ~watch:stream.watch (Conn c))
+               ~watch:stream.watch (Conn c));
+        (* Embryo timer (one-shot, per connection — a perpetual sweeper
+           tick would keep the cluster from ever quiescing): a client
+           that abandoned the handshake after we built the connection
+           never sends a byte, and its half-open orphan must not pin an
+           inflight slot forever. *)
+        if t.cfg.embryo_timeout > 0 && t.cfg.embryo_timeout < max_int then
+          Sim.spawn t.sim
+            ~name:(Printf.sprintf "sched-embryo-%d.%d" t.node c.c_id)
+            ~daemon:true
+            (fun () ->
+              Sim.delay t.sim t.cfg.embryo_timeout;
+              if c.c_open && not c.c_seen_data then begin
+                Metrics.incr t.metrics ~node:t.node
+                  "server.sched.embryo_closed";
+                close_conn t c
+              end)
       end
   done;
   update_backlog t
@@ -187,6 +217,7 @@ let start sim ~node ?(config = default_config) ~listener ~handler () =
       conns = Hashtbl.create 64;
       next_id = 0;
       inflight = 0;
+      peak_inflight = 0;
       accepted = 0;
       shed = 0;
       running = true;

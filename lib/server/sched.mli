@@ -24,6 +24,7 @@
 
     Metrics (per node): [server.sched.accepts], [server.sched.shed],
     [server.sched.closes], [server.sched.dispatches],
+    [server.sched.embryo_closed] (half-open orphans swept),
     [server.listener.backlog] (gauge: requests queued behind accept). *)
 
 type reaction = {
@@ -41,10 +42,19 @@ type config = {
   accept_batch : int;  (** max accepts drained per readiness event *)
   max_inflight : int;  (** admission limit: open connections *)
   reject : string option;  (** sent (best-effort) before a shed close *)
+  embryo_timeout : int;
+      (** close accepted connections that never deliver a first byte
+          within this many ns — the SYN_RCVD-timer analogue. A client
+          whose connect raced a timeout abandons the handshake after the
+          server has already built the connection; without this sweep
+          each such half-open orphan pins an [max_inflight] slot (and
+          its posted descriptors) forever, and a shard that collects
+          enough of them stops accepting entirely. *)
 }
 
 val default_config : config
-(** 4 workers, accept batches of 16, unlimited inflight, silent shed. *)
+(** 4 workers, accept batches of 16, unlimited inflight, silent shed,
+    2 s embryo timeout. *)
 
 type t
 
@@ -60,6 +70,11 @@ val start :
 
 val inflight : t -> int
 (** Currently open connections. *)
+
+val peak_inflight : t -> int
+(** High-water mark of {!inflight} over the scheduler's life — the
+    witness that a fabric cell never crossed the NIC match-walk
+    collapse threshold. *)
 
 val accepted : t -> int
 val shed : t -> int

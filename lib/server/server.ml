@@ -12,13 +12,29 @@ type t = {
   metrics : Metrics.t;
   trace : Trace.t;
   mutable served : int;
-  mutable sched : Sched.t option;
+  mutable scheds : Sched.t array;
 }
 
 let requests t = t.served
 
 let sched t =
-  match t.sched with Some s -> s | None -> invalid_arg "Server.sched"
+  if Array.length t.scheds = 0 then invalid_arg "Server.sched"
+  else t.scheds.(0)
+
+let scheds t = Array.to_list t.scheds
+let shards t = Array.length t.scheds
+
+let sum f t = Array.fold_left (fun acc s -> acc + f s) 0 t.scheds
+
+let inflight t = sum Sched.inflight t
+let accepted t = sum Sched.accepted t
+let shed t = sum Sched.shed t
+
+(* Sum of per-shard high-water marks: an upper bound on the cell's true
+   concurrent peak (shards need not peak at the same instant), which is
+   the safe direction for the "never crossed the match-walk collapse"
+   check. *)
+let peak_inflight t = sum Sched.peak_inflight t
 
 let http_reject =
   Http.format_response
@@ -83,8 +99,8 @@ let http_handler t default_size peer =
     in
     { Sched.replies; close = !close }
 
-let start sim (stack : Api.stack) ~node ~port ?(backlog = 64) ?config workload
-    =
+let start sim (stack : Api.stack) ~node ~port ?(backlog = 64) ?config
+    ?(shards = 1) workload =
   let listener = stack.listen ~node ~port ~backlog in
   let config =
     match config with
@@ -101,7 +117,7 @@ let start sim (stack : Api.stack) ~node ~port ?(backlog = 64) ?config workload
       metrics = Metrics.for_sim sim;
       trace = Trace.for_sim sim;
       served = 0;
-      sched = None;
+      scheds = [||];
     }
   in
   let handler =
@@ -109,7 +125,14 @@ let start sim (stack : Api.stack) ~node ~port ?(backlog = 64) ?config workload
     | Echo -> echo_handler t
     | Http size -> http_handler t size
   in
-  t.sched <- Some (Sched.start sim ~node ~config ~listener ~handler ());
+  let listeners =
+    if shards <= 1 then [| listener |]
+    else Reuseport.listeners sim ~node ~shards listener
+  in
+  t.scheds <-
+    Array.map
+      (fun l -> Sched.start sim ~node ~config ~listener:l ~handler ())
+      listeners;
   t
 
-let stop t = match t.sched with Some s -> Sched.stop s | None -> ()
+let stop t = Array.iter Sched.stop t.scheds

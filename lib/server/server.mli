@@ -30,11 +30,16 @@ val start :
   port:int ->
   ?backlog:int ->
   ?config:Sched.config ->
+  ?shards:int ->
   workload ->
   t
 (** Listen and serve. [backlog] defaults to 64. [config] defaults to
     {!Sched.default_config} with a workload-appropriate reject (503 for
-    HTTP, silent close for echo). *)
+    HTTP, silent close for echo). [shards] (default 1) splits the accept
+    stream {!Reuseport}-style across that many independent schedulers —
+    one listener socket, [shards] x [config.workers] worker fibers, with
+    flow-affine steering. [config] (including [max_inflight]) applies
+    {e per shard}. *)
 
 val http_reject : string
 (** The serialised [503 Service Unavailable] sent on an HTTP shed — for
@@ -44,4 +49,21 @@ val requests : t -> int
 (** Requests served (HTTP) or chunks echoed (echo). *)
 
 val sched : t -> Sched.t
+(** The first (or only) shard's scheduler. *)
+
+val scheds : t -> Sched.t list
+(** All shard schedulers, in shard order. *)
+
+val shards : t -> int
+
+val inflight : t -> int
+(** Open connections, summed over shards. *)
+
+val accepted : t -> int
+val shed : t -> int
+
+val peak_inflight : t -> int
+(** Sum of each shard's {!Sched.peak_inflight} — an upper bound on the
+    server's true concurrent connection peak. *)
+
 val stop : t -> unit

@@ -15,6 +15,13 @@ type t = {
   rx_coalesce : Uls_engine.Time.ns;  (** NIC interrupt coalescing delay *)
   rx_coalesce_frames : int;  (** ... or after this many frames *)
   accept_backlog_default : int;
+  dead_rto_abort : Uls_engine.Time.ns;
+      (** unbroken retransmission silence with zero cumulative-ack
+          progress before the connection aborts with a typed reset (the
+          tcp_retries2 analogue; 0 = retransmit forever) *)
+  synack_retries : int;
+      (** SYN|ACK retransmissions (exponential backoff) before dropping a
+          half-open connection (tcp_synack_retries) *)
 }
 
 let default =
@@ -31,6 +38,12 @@ let default =
     rx_coalesce = Uls_engine.Time.us 60;
     rx_coalesce_frames = 8;
     accept_backlog_default = 8;
+    (* 2 s of unbroken silence is ~10 cap-level RTOs — far past the
+       queueing delay a saturated-but-alive peer produces, but finite,
+       so a dead peer yields Connection_reset, not a hung run. The
+       SYN|ACK budget backs off 1 ms -> 200 ms, ~1 s total. *)
+    dead_rto_abort = Uls_engine.Time.s 2;
+    synack_retries = 12;
   }
 
 let with_buffers t bytes = { t with sndbuf = bytes; rcvbuf = bytes }

@@ -15,6 +15,16 @@ type t = {
   rx_coalesce : Uls_engine.Time.ns;  (** NIC interrupt coalescing delay *)
   rx_coalesce_frames : int;  (** ... or after this many frames *)
   accept_backlog_default : int;
+  dead_rto_abort : Uls_engine.Time.ns;
+      (** unbroken retransmission silence — zero cumulative-ack progress —
+          tolerated before the connection aborts with a typed reset (the
+          tcp_retries2 analogue; 0 = retransmit forever). A duration, not
+          a rewind count: with exponential RTO growing from [min_rto], a
+          count would make the budget collapse to a few milliseconds and
+          abort connections that are merely queued behind a busy peer. *)
+  synack_retries : int;
+      (** SYN|ACK retransmissions (with exponential backoff) before a
+          half-open connection is quietly dropped (tcp_synack_retries) *)
 }
 
 val default : t

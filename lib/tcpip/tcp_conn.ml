@@ -50,6 +50,14 @@ type t = {
   mutable ssthresh : int;
   mutable rto : Time.ns;
   mutable retransmits : int;
+  mutable dead_since : Time.ns;
+      (* start of the current run of silent RTOs with no cumulative-ack
+         progress (-1 = none); config.dead_rto_abort of unbroken silence
+         aborts the connection *)
+  mutable synack_tries : int;
+  mutable aborted : bool;
+      (* retransmission gave up (the ETIMEDOUT analogue): app-side ops
+         raise Connection_reset instead of reporting a clean close *)
   (* receive side *)
   rcv_buf : Bytebuf.t;
   mutable rcv_nxt : int;
@@ -253,6 +261,19 @@ let rewind t =
     t.rto <- min (2 * t.rto) (Time.ms 200)
   end
 
+(* Retransmission gave up: drop all state and surface a typed reset to
+   the application. Real TCP sends nothing here (the path is presumed
+   dead); peers discover via their own timers. *)
+let abort t =
+  if not t.aborted then begin
+    t.aborted <- true;
+    Metrics.incr
+      (Metrics.for_sim (sim t))
+      ~node:(Node.id t.env.node) "tcp.aborts";
+    set_state t Closed_st;
+    wake_all t
+  end
+
 let sender_fiber t () =
   let cfg = t.env.config in
   let rec loop () =
@@ -263,12 +284,25 @@ let sender_fiber t () =
       loop ()
     end
     else if t.state = Syn_rcvd then begin
-      (* Retransmit SYN|ACK until the handshake completes. *)
+      (* Retransmit SYN|ACK until the handshake completes — or the
+         tcp_synack_retries budget runs out and the half-open connection
+         is quietly dropped (the peer may be long gone). *)
       (match Cond.wait_timeout t.send_c t.rto with
       | `Ok -> ()
       | `Timeout ->
-        if t.state = Syn_rcvd then
-          emit t ~flags:(Segment.flag ~syn:true ~ack:true ()) ~seq:0 ());
+        if t.state = Syn_rcvd then begin
+          t.synack_tries <- t.synack_tries + 1;
+          if cfg.Config.synack_retries > 0
+             && t.synack_tries > cfg.Config.synack_retries
+          then set_state t Closed_st
+          else begin
+            (* Back off like the data path: at a flat min_rto the whole
+               budget is a few ms, and a handshake ACK queued behind a
+               request burst is enough to orphan the client. *)
+            t.rto <- min (2 * t.rto) (Time.ms 200);
+            emit t ~flags:(Segment.flag ~syn:true ~ack:true ()) ~seq:0 ()
+          end
+        end);
       loop ()
     end
     else if can_send_data t then begin
@@ -284,7 +318,15 @@ let sender_fiber t () =
       let una = t.snd_una in
       (match Cond.wait_timeout t.send_c t.rto with
       | `Ok -> ()
-      | `Timeout -> if t.snd_una = una && in_flight t > 0 then rewind t);
+      | `Timeout ->
+        if t.snd_una = una && in_flight t > 0 then begin
+          let now = Sim.now (sim t) in
+          if t.dead_since < 0 then t.dead_since <- now;
+          if cfg.Config.dead_rto_abort > 0
+             && now - t.dead_since >= cfg.Config.dead_rto_abort
+          then abort t
+          else rewind t
+        end);
       loop ()
     end
     else if unsent_bytes t > 0 && t.snd_wnd = 0 then begin
@@ -337,6 +379,7 @@ let process_ack t (seg : Segment.tcp_segment) =
          what the receiver already has. *)
       if t.snd_nxt < new_una then t.snd_nxt <- new_una;
       t.dup_acks <- 0;
+      t.dead_since <- -1;
       t.rto <- t.env.config.Config.min_rto;
       on_ack_progress t ~data_bytes;
       Cond.broadcast t.writable_c;
@@ -483,6 +526,7 @@ let app_send t data =
   let m = model t in
   let rec push off =
     if off < len then begin
+      if t.aborted then raise Uls_api.Sockets_api.Connection_reset;
       if t.rst_rcvd || t.state = Closed_st || t.app_closed then raise App_closed;
       let space = Bytebuf.free_space t.snd_buf in
       if space = 0 then begin
@@ -525,6 +569,7 @@ let app_recv t n =
       maybe_window_update t;
       s
     end
+    else if t.aborted then raise Uls_api.Sockets_api.Connection_reset
     else if t.fin_rcvd || t.rst_rcvd || t.state = Closed_st then ""
     else begin
       Cond.wait t.readable_c;
@@ -578,6 +623,9 @@ let make env ~local ~remote ~state =
       ssthresh = max_int / 4;
       rto = cfg.Config.min_rto;
       retransmits = 0;
+      dead_since = -1;
+      synack_tries = 0;
+      aborted = false;
       rcv_buf = Bytebuf.create ~capacity:cfg.Config.rcvbuf;
       rcv_nxt = 0;
       ooo = [];
