@@ -71,9 +71,14 @@ let metrics_flag =
 let dump_metrics m = Uls_engine.Metrics.dump m Format.std_formatter
 
 (* Machine-tracked perf records: one JSON object per run, appended to a
-   BENCH_*.json file so the trajectory accumulates across commits.
-   Values arrive pre-rendered (ints, %.3f floats, quoted strings). *)
+   BENCH_*.json file (created on first use) so the trajectory
+   accumulates across commits. Every record carries a schema version so
+   downstream tooling can tell record generations apart. Values arrive
+   pre-rendered (ints, %.3f floats, quoted strings). *)
+let bench_schema_version = 2
+
 let emit_json ~file fields =
+  let fields = ("schema", string_of_int bench_schema_version) :: fields in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 file in
   let buf = Buffer.create 512 in
   Buffer.add_char buf '{';
@@ -86,6 +91,25 @@ let emit_json ~file fields =
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf "record appended -> %s\n" file
+
+let match_conv =
+  let parse s =
+    match Uls_nic.Match_list.engine_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "unknown match engine %S" s))
+  in
+  let print fmt e =
+    Format.pp_print_string fmt (Uls_nic.Match_list.engine_name e)
+  in
+  Arg.conv (parse, print)
+
+let match_engine_flag =
+  Arg.(value & opt match_conv Uls_nic.Match_list.Hashed
+       & info [ "match" ] ~docv:"ENGINE"
+           ~doc:"NIC tag-match engine: $(b,hashed) (per-key descriptor \
+                 rings + RSS across both receive cores) or $(b,linear) \
+                 (the paper's measured O(descriptors) walk, kept as the \
+                 ablation baseline).")
 
 let json_int i = string_of_int i
 let json_float f = Printf.sprintf "%.3f" f
@@ -302,7 +326,7 @@ let serve_cmd =
                  lost request, mismatch or divergence.")
   in
   let build_config stack workload open_loop ~conns ~requests ~size ~think
-      ~seed ~loss ~clients ~backlog ~workers ~max_inflight =
+      ~seed ~loss ~clients ~backlog ~workers ~max_inflight ~match_engine =
     let kind = serve_kind stack in
     let client_nodes =
       if clients > 0 then clients else max 2 (min 8 ((conns + 511) / 512))
@@ -336,6 +360,7 @@ let serve_cmd =
       client_nodes;
       backlog;
       sched;
+      match_engine;
     }
   in
   let run_one ?on_metrics cfg =
@@ -356,6 +381,8 @@ let serve_cmd =
            (match cfg.Load.loop with
            | Load.Closed -> "closed"
            | Load.Open r -> Printf.sprintf "open@%.0f" r));
+        ("match",
+         json_str (Uls_nic.Match_list.engine_name cfg.Load.match_engine));
         ("conns", json_int cfg.Load.conns);
         ("requests_per_conn", json_int cfg.Load.requests_per_conn);
         ("size", json_int cfg.Load.size);
@@ -380,15 +407,16 @@ let serve_cmd =
       ]
   in
   let run stack conns requests size workload open_loop think seed loss clients
-      backlog workers max_inflight smoke metrics json =
+      backlog workers max_inflight match_engine smoke metrics json =
     let on_metrics = if metrics then Some dump_metrics else None in
     if smoke then begin
       (* Pinned-seed CI matrix; flags other than --metrics are ignored. *)
       let failures = ref 0 in
-      let smoke_config stack workload =
+      let smoke_config ?(match_engine = Uls_nic.Match_list.Hashed) stack
+          workload =
         build_config stack workload None ~conns:128 ~requests:4 ~size:256
           ~think:0. ~seed:42 ~loss:0. ~clients:2 ~backlog:0 ~workers:4
-          ~max_inflight:0
+          ~max_inflight:0 ~match_engine
       in
       let check r =
         if
@@ -410,6 +438,37 @@ let serve_cmd =
         prerr_endline "ulsbench serve --smoke: seeded runs diverged";
         incr failures
       end;
+      (* Match-engine ablation at the 512-conn row (where the linear
+         walk's O(posted descriptors) cost begins to bite): hashed must
+         be at least as fast as linear on both stacks, and the hashed
+         row must be schedule-deterministic. *)
+      let scale_config stack engine =
+        build_config stack Load.Echo None ~conns:512 ~requests:2 ~size:256
+          ~think:0. ~seed:42 ~loss:0. ~clients:4 ~backlog:0 ~workers:4
+          ~max_inflight:0 ~match_engine:engine
+      in
+      List.iter
+        (fun st ->
+          let lin = run_one ?on_metrics (scale_config st Uls_nic.Match_list.Linear) in
+          let hsh = run_one ?on_metrics (scale_config st Uls_nic.Match_list.Hashed) in
+          check lin;
+          check hsh;
+          if hsh.Load.rps < lin.Load.rps *. 0.999 then begin
+            Printf.eprintf
+              "ulsbench serve --smoke: hashed slower than linear at 512 \
+               conns (%.0f vs %.0f req/s)\n"
+              hsh.Load.rps lin.Load.rps;
+            incr failures
+          end)
+        [ `Ds; `Tcp ];
+      let cfg = scale_config `Ds Uls_nic.Match_list.Hashed in
+      let a = Load.run cfg and b = Load.run cfg in
+      check a;
+      if a <> b then begin
+        prerr_endline
+          "ulsbench serve --smoke: hashed 512-conn seeded runs diverged";
+        incr failures
+      end;
       if !failures > 0 then begin
         Printf.eprintf "ulsbench serve --smoke: %d failure(s)\n" !failures;
         exit 1
@@ -419,7 +478,7 @@ let serve_cmd =
     else begin
       let cfg =
         build_config stack workload open_loop ~conns ~requests ~size ~think
-          ~seed ~loss ~clients ~backlog ~workers ~max_inflight
+          ~seed ~loss ~clients ~backlog ~workers ~max_inflight ~match_engine
       in
       let r = run_one ?on_metrics cfg in
       if json then serve_json cfg r;
@@ -434,7 +493,7 @@ let serve_cmd =
           open- or closed-loop; prints throughput and latency percentiles")
     Term.(const run $ stack $ conns $ requests $ size $ workload $ open_loop
           $ think $ seed $ loss $ clients $ backlog $ workers $ max_inflight
-          $ smoke $ metrics_flag
+          $ match_engine_flag $ smoke $ metrics_flag
           $ Arg.(value & flag & info [ "json" ]
                    ~doc:"Append a JSON record to BENCH_serve.json."))
 
@@ -541,10 +600,11 @@ let fabric_cmd =
   in
   let auto_clients cells conns = max 4 (min 64 (max cells ((conns + 2047) / 2048) * 4)) in
   let build ~stack ~cells ~shards ~conns ~requests ~size ~rate ~think ~clients
-      ~seed ~loss ~max_inflight ~backlog ~vnodes ~kill ~drain =
+      ~seed ~loss ~max_inflight ~backlog ~vnodes ~kill ~drain ~match_engine =
     {
       Fleet.default with
       kind = fabric_kind stack;
+      match_engine;
       cells;
       shards;
       conns;
@@ -569,6 +629,8 @@ let fabric_cmd =
          ("stack", json_str (Chaos.kind_name cfg.Fleet.kind));
          ("cells", json_int cfg.Fleet.cells);
          ("shards", json_int cfg.Fleet.shards);
+         ("match",
+          json_str (Uls_nic.Match_list.engine_name cfg.Fleet.match_engine));
          ("conns", json_int cfg.Fleet.conns);
          ("requests_per_conn", json_int cfg.Fleet.requests_per_conn);
          ("size", json_int cfg.Fleet.size);
@@ -601,7 +663,7 @@ let fabric_cmd =
        ])
   in
   let run stack cells shards conns requests size rate think clients seed loss
-      max_inflight backlog vnodes kill drain smoke metrics json =
+      max_inflight backlog vnodes kill drain match_engine smoke metrics json =
     let on_metrics = if metrics then Some dump_metrics else None in
     if smoke then begin
       (* Pinned-seed CI matrix: cells x stacks, plus one kill-failover
@@ -611,6 +673,7 @@ let fabric_cmd =
         build ~stack ~cells ~shards:2 ~conns:256 ~requests:2 ~size:128
           ~rate:8_000. ~think:0. ~clients:4 ~seed:42 ~loss:0. ~max_inflight:0
           ~backlog:128 ~vnodes:64 ~kill:None ~drain:None
+          ~match_engine:Uls_nic.Match_list.Hashed
       in
       let check name ?(allow_failures = false) (r : Fleet.report) =
         let ok =
@@ -671,6 +734,7 @@ let fabric_cmd =
       let cfg =
         build ~stack ~cells ~shards ~conns ~requests ~size ~rate ~think
           ~clients ~seed ~loss ~max_inflight ~backlog ~vnodes ~kill ~drain
+          ~match_engine
       in
       let r = Fleet.run ?on_metrics cfg in
       Fleet.print_report Format.std_formatter cfg r;
@@ -686,7 +750,7 @@ let fabric_cmd =
           fleet, with optional mid-load cell kill or drain")
     Term.(const run $ stack $ cells $ shards $ conns $ requests $ size $ rate
           $ think $ clients $ seed $ loss $ max_inflight $ backlog $ vnodes
-          $ kill $ drain $ smoke $ metrics_flag
+          $ kill $ drain $ match_engine_flag $ smoke $ metrics_flag
           $ Arg.(value & flag & info [ "json" ]
                    ~doc:"Append a JSON record to BENCH_fabric.json."))
 

@@ -51,8 +51,8 @@ let finish cluster ~conns ~observables stop =
     stop;
   }
 
-let start ?(n = 2) tiebreak =
-  let cluster = Cluster.create ~tiebreak ~n () in
+let start ?(n = 2) ?match_engine tiebreak =
+  let cluster = Cluster.create ?match_engine ~tiebreak ~n () in
   Invariant.enable (Invariant.for_sim (Cluster.sim cluster));
   cluster
 
@@ -77,8 +77,8 @@ let hex s = Digest.to_hex (Digest.string s)
 
 (* --- eager-echo: streaming mode, two clients echoed by one server --- *)
 
-let eager_echo tiebreak =
-  let cluster = start ~n:3 tiebreak in
+let eager_echo ?match_engine tiebreak =
+  let cluster = start ~n:3 ?match_engine tiebreak in
   let sim = Cluster.sim cluster in
   let conns = ref [] and obs = ref [] in
   let server = Cluster.substrate cluster 0 in
@@ -346,7 +346,14 @@ let clean_suite =
       sc_name = "eager-echo";
       sc_descr = "streaming echo through credit flow control, 2 clients";
       sc_buggy = false;
-      sc_run = eager_echo;
+      sc_run = eager_echo ?match_engine:None;
+    };
+    {
+      sc_name = "hashed-echo";
+      sc_descr = "eager-echo over the hashed match engine: two RSS-steered \
+                  receive queues with concurrent dispatcher fibers";
+      sc_buggy = false;
+      sc_run = eager_echo ~match_engine:Uls_nic.Match_list.Hashed;
     };
     {
       sc_name = "dg-rendezvous";

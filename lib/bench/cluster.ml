@@ -12,7 +12,8 @@ type t = {
   mutable tcp : Uls_tcp.Tcp_stack.t option;
 }
 
-let create ?(model = Cost_model.paper_testbed) ?tiebreak ~n () =
+let create ?(model = Cost_model.paper_testbed) ?tiebreak
+    ?(match_engine = Uls_nic.Match_list.Linear) ~n () =
   let sim = Sim.create () in
   (* Must precede any spawn: NIC/node setup tasks scheduled below should
      already draw shuffled priorities under a perturbed schedule. *)
@@ -23,7 +24,10 @@ let create ?(model = Cost_model.paper_testbed) ?tiebreak ~n () =
       ~fwd_latency:model.Cost_model.switch_fwd_latency ~stations:n ()
   in
   let nodes = Array.init n (fun id -> Node.create sim model ~id) in
-  let nics = Array.init n (fun id -> Uls_nic.Tigon.create sim model net ~node:id) in
+  let nics =
+    Array.init n (fun id ->
+        Uls_nic.Tigon.create ~match_engine sim model net ~node:id)
+  in
   {
     sim;
     model;

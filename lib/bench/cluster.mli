@@ -6,13 +6,16 @@ type t
 val create :
   ?model:Uls_host.Cost_model.t ->
   ?tiebreak:[ `Fifo | `Seeded_shuffle of int ] ->
+  ?match_engine:Uls_nic.Match_list.engine ->
   n:int ->
   unit ->
   t
 (** [create ?model ?tiebreak ~n ()] builds the cluster. [tiebreak] sets
     the simulator's same-timestamp dispatch policy (see
     {!Uls_engine.Sim.set_tiebreak}) before any task is scheduled — the
-    race detector's schedule-perturbation hook. Default FIFO. *)
+    race detector's schedule-perturbation hook. Default FIFO.
+    [match_engine] selects the NIC tag-match firmware on every node
+    (default [Linear], the paper's measured generation). *)
 
 val sim : t -> Uls_engine.Sim.t
 val model : t -> Uls_host.Cost_model.t

@@ -30,6 +30,7 @@ type config = {
   drain : (int * Time.ns) option;
   tiebreak : [ `Fifo | `Seeded_shuffle of int ] option;
   time_limit : Time.ns option;
+  match_engine : Uls_nic.Match_list.engine;
 }
 
 let default =
@@ -59,6 +60,7 @@ let default =
     drain = None;
     tiebreak = None;
     time_limit = None;
+    match_engine = Uls_nic.Match_list.Hashed;
   }
 
 type cell_report = {
@@ -127,8 +129,9 @@ let run ?on_metrics (cfg : config) =
   let n_nodes = cfg.cells + 1 + cfg.client_nodes in
   let c =
     match cfg.tiebreak with
-    | Some tiebreak -> Cluster.create ~tiebreak ~n:n_nodes ()
-    | None -> Cluster.create ~n:n_nodes ()
+    | Some tiebreak ->
+      Cluster.create ~tiebreak ~match_engine:cfg.match_engine ~n:n_nodes ()
+    | None -> Cluster.create ~match_engine:cfg.match_engine ~n:n_nodes ()
   in
   let sim = Cluster.sim c in
   let api =

@@ -63,6 +63,9 @@ type config = {
       (** simulator dispatch tie-break (race-detector hook) *)
   time_limit : Uls_engine.Time.ns option;
       (** virtual-time hang bound; default {!liveness_bound} *)
+  match_engine : Uls_nic.Match_list.engine;
+      (** NIC tag-match firmware on every node; [Linear] is the ablation
+          reproducing the paper's O(descriptors) walk *)
 }
 
 val default : config

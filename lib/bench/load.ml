@@ -24,6 +24,7 @@ type config = {
   client_nodes : int;
   backlog : int;
   sched : Sched.config option;
+  match_engine : Uls_nic.Match_list.engine;
 }
 
 let default =
@@ -40,6 +41,7 @@ let default =
     client_nodes = 2;
     backlog = 256;
     sched = None;
+    match_engine = Uls_nic.Match_list.Hashed;
   }
 
 type report = {
@@ -93,7 +95,9 @@ let note_error e =
     prerr_endline ("load: client error: " ^ Printexc.to_string e)
 
 let run ?on_metrics cfg =
-  let c = Cluster.create ~n:(1 + cfg.client_nodes) () in
+  let c =
+    Cluster.create ~match_engine:cfg.match_engine ~n:(1 + cfg.client_nodes) ()
+  in
   let sim = Cluster.sim c in
   let api =
     match cfg.kind with

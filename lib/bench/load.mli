@@ -44,11 +44,14 @@ type config = {
   client_nodes : int;  (** fleet spread over this many client hosts *)
   backlog : int;  (** server listen backlog *)
   sched : Uls_server.Sched.config option;  (** server scheduler override *)
+  match_engine : Uls_nic.Match_list.engine;
+      (** NIC tag-match firmware on every node; [Linear] is the ablation
+          reproducing the paper's O(descriptors) walk *)
 }
 
 val default : config
 (** Closed-loop substrate echo: 64 conns x 8 requests of 512 B over
-    [Options.server], 2 client nodes, seed 42, no loss. *)
+    [Options.server], 2 client nodes, seed 42, no loss, hashed matching. *)
 
 type report = {
   sent : int;

@@ -105,7 +105,10 @@ type t = {
   active_rx : (Wire.msg_key, rx_record) Hashtbl.t;
   finished_rx : (Wire.msg_key, int) Hashtbl.t; (* nframes, for dup re-acks *)
   active_tx : (Wire.msg_key, send) Hashtbl.t;
-  rx_queue : Uls_ether.Frame.t Mailbox.t;
+  (* One mailbox + dispatcher fiber per NIC receive queue: frames are
+     RSS-steered by source node, so each peer's traffic is handled by a
+     fixed queue and per-message state stays single-fiber. *)
+  rx_queues : Uls_ether.Frame.t Mailbox.t array;
   uq_arrival : Cond.t;
   mutable on_send_failure : dst:int -> tag:int -> retries:int -> unit;
   mutable st_msgs_sent : int;
@@ -403,8 +406,13 @@ let post_recv t ~src ~tag region ~off ~len =
   | None ->
     Match_list.post t.posted ~src ~tag r;
     Sim.delay (sim t) m.Cost_model.pio_write;
+    (* The doorbell lands on the queue that will serve this peer (queue 0
+       for wildcard posts — any queue may end up matching it). *)
+    let q = if src = -1 then 0 else Tigon.steer t.nic ~flow:src in
     ignore
-      (Resource.completion_after (Tigon.rx_cpu t.nic) m.Cost_model.nic_mailbox_fetch));
+      (Resource.completion_after
+         (Tigon.rx_cpu ~queue:q t.nic)
+         m.Cost_model.nic_mailbox_fetch));
   r
 
 let unpost_recv t r =
@@ -457,9 +465,9 @@ let provision_unexpected t ~slots ~size =
 
 (* --- NIC receive firmware ------------------------------------------ *)
 
-let send_protocol_ack t ~dst ~key ~acked =
+let send_protocol_ack t ~queue ~dst ~key ~acked =
   let m = model t in
-  Tigon.rx_work t.nic m.Cost_model.nic_ack_gen;
+  Tigon.rx_work ~queue t.nic m.Cost_model.nic_ack_gen;
   t.st_acks <- t.st_acks + 1;
   Tigon.transmit t.nic (Wire.ack_frame ~src:(node_id t) ~dst ~key ~acked)
 
@@ -503,40 +511,50 @@ let free_uq_slot_for t ~total_len =
   in
   scan 0 0
 
-(* First frame of a message: walk the posted descriptors (charging the
-   per-descriptor match cost), falling back to the unexpected queue,
-   which is checked last (paper §6.4). *)
-let match_new_message t (d : Wire.data) =
-  let m = model t in
+(* Account one descriptor lookup: host stats, the legacy EMP metric, the
+   canonical NIC metrics (both engines), and the firmware-time charge on
+   the handling receive core. *)
+(* Metric side of a descriptor lookup: the legacy emp counter plus the
+   canonical nic.match_* series (every match, both engines). *)
+let observe_match t (probe : Match_list.probe) =
+  t.st_walked <- t.st_walked + probe.walked;
+  Metrics.observe t.metrics ~node:(node_id t) "emp.match_walk_descs"
+    (float_of_int probe.walked);
+  Tigon.observe_match t.nic probe
+
+let charge_match t ~queue (probe : Match_list.probe) =
+  observe_match t probe;
+  Tigon.rx_work ~queue t.nic (Tigon.match_cost t.nic probe)
+
+(* First frame of a message: look up the posted descriptors (charging
+   the engine's match cost), falling back to the unexpected queue, which
+   is checked last (paper §6.4). *)
+let match_new_message t ~queue (d : Wire.data) =
   let src = d.key.Wire.src_node in
   match Match_list.take t.posted ~src ~tag:d.tag with
-  | Some (r, walked) ->
-    t.st_walked <- t.st_walked + walked;
-    Metrics.observe t.metrics ~node:(node_id t) "emp.match_walk_descs"
-      (float_of_int walked);
-    Tigon.rx_work t.nic (walked * m.Cost_model.nic_tag_match_per_desc);
+  | Some r, probe ->
+    charge_match t ~queue probe;
     if r.r_cancelled then None
     else begin
       r.r_matched <- true;
       Some (To_user r)
     end
-  | None ->
-    let full_walk = Match_list.length t.posted in
+  | None, probe ->
     let slot, uq_walked = free_uq_slot_for t ~total_len:d.total_len in
-    t.st_walked <- t.st_walked + full_walk + uq_walked;
-    Metrics.observe t.metrics ~node:(node_id t) "emp.match_walk_descs"
-      (float_of_int (full_walk + uq_walked));
-    Tigon.rx_work t.nic
-      ((full_walk + uq_walked) * m.Cost_model.nic_tag_match_per_desc);
+    (* Claim the slot before any blocking charge: with two receive
+       queues, another dispatcher fiber could otherwise pick the same
+       free slot while this one waits for its core. *)
     (match slot with
-    | None -> None
     | Some slot ->
       slot.u_state <- `Filling;
       slot.u_from <- src;
       slot.u_tag <- d.tag;
       slot.u_len <- d.total_len;
-      slot.u_born <- Sim.now (sim t);
-      Some (To_uq slot))
+      slot.u_born <- Sim.now (sim t)
+    | None -> ());
+    charge_match t ~queue
+      { probe with Match_list.walked = probe.Match_list.walked + uq_walked };
+    (match slot with None -> None | Some slot -> Some (To_uq slot))
 
 let store_chunk t record (d : Wire.data) =
   let bytes = String.length d.chunk in
@@ -569,35 +587,37 @@ let finish_record t key record =
     slot.u_state <- `Arrived;
     Cond.broadcast t.uq_arrival;
     (* A descriptor posted while the message was in flight may be
-       waiting; deliver to it now. *)
+       waiting; deliver to it now. The match time was already paid when
+       the message arrived; this re-take is delivery bookkeeping, so it
+       is observed (metrics) but not charged against the receive core. *)
     match
       Match_list.take t.posted ~src:slot.u_from ~tag:slot.u_tag
     with
-    | Some (r, walked) ->
-      t.st_walked <- t.st_walked + walked;
+    | Some r, probe ->
+      observe_match t probe;
       if r.r_cancelled then ()
       else consume_uq t slot r
-    | None -> ())
+    | None, probe -> observe_match t probe)
 
-let rx_data t (d : Wire.data) =
+let rx_data t ~queue (d : Wire.data) =
   let m = model t in
-  Tigon.rx_work t.nic m.Cost_model.nic_rx_classify;
+  Tigon.rx_work ~queue t.nic m.Cost_model.nic_rx_classify;
   let key = d.key in
   let record =
     match Hashtbl.find_opt t.active_rx key with
     | Some record ->
       (* Later frame: matched against the in-progress receive record. *)
-      Tigon.rx_work t.nic m.Cost_model.nic_tag_match_per_desc;
+      Tigon.rx_work ~queue t.nic m.Cost_model.nic_tag_match_per_desc;
       Some record
     | None ->
       if Hashtbl.mem t.finished_rx key then begin
         (* Duplicate of a completed message: re-ack so the sender stops. *)
         let nframes = Hashtbl.find t.finished_rx key in
-        send_protocol_ack t ~dst:key.Wire.src_node ~key ~acked:nframes;
+        send_protocol_ack t ~queue ~dst:key.Wire.src_node ~key ~acked:nframes;
         None
       end
       else begin
-        match match_new_message t d with
+        match match_new_message t ~queue d with
         | None ->
           t.st_drops <- t.st_drops + 1;
           Metrics.incr t.metrics ~node:(node_id t) "emp.drops_no_descriptor";
@@ -627,7 +647,8 @@ let rx_data t (d : Wire.data) =
     if record.rec_got.(d.frame_idx) then
       (* Duplicate frame (ack loss / go-back-N overlap): re-ack the
          contiguous prefix so the sender resumes from the right point. *)
-      send_protocol_ack t ~dst:key.Wire.src_node ~key ~acked:record.rec_prefix
+      send_protocol_ack t ~queue ~dst:key.Wire.src_node ~key
+        ~acked:record.rec_prefix
     else begin
       record.rec_got.(d.frame_idx) <- true;
       record.rec_count <- record.rec_count + 1;
@@ -639,13 +660,13 @@ let rx_data t (d : Wire.data) =
         record.rec_prefix <- record.rec_prefix + 1
       done;
       if record.rec_prefix > old_prefix then record.rec_nacked <- false;
-      Tigon.rx_work t.nic m.Cost_model.nic_rx_per_frame;
+      Tigon.rx_work ~queue t.nic m.Cost_model.nic_rx_per_frame;
       store_chunk t record d;
       let complete = record.rec_count = record.rec_nframes in
       (* Cumulative acks carry the contiguous prefix — never the raw
          count, which would overstate progress across a loss hole. *)
       if complete || record.rec_prefix mod t.cfg.ack_window = 0 then
-        send_protocol_ack t ~dst:key.Wire.src_node ~key
+        send_protocol_ack t ~queue ~dst:key.Wire.src_node ~key
           ~acked:record.rec_prefix;
       (* Gap detected (a frame beyond the prefix): NACK once so the
          sender rewinds immediately instead of waiting out its RTO. *)
@@ -659,7 +680,7 @@ let rx_data t (d : Wire.data) =
         Metrics.incr t.metrics ~node:(node_id t) "emp.nacks_sent";
         Trace.instant t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.nack"
           ~args:[ ("missing", string_of_int record.rec_prefix) ];
-        Tigon.rx_work t.nic m.Cost_model.nic_ack_gen;
+        Tigon.rx_work ~queue t.nic m.Cost_model.nic_ack_gen;
         Tigon.transmit t.nic
           (Wire.nack_frame ~src:(node_id t) ~dst:key.Wire.src_node ~key
              ~next_expected:record.rec_prefix)
@@ -667,9 +688,9 @@ let rx_data t (d : Wire.data) =
       if complete then finish_record t key record
     end
 
-let rx_ack t key acked =
+let rx_ack t ~queue key acked =
   let m = model t in
-  Tigon.rx_work t.nic m.Cost_model.nic_rx_classify;
+  Tigon.rx_work ~queue t.nic m.Cost_model.nic_rx_classify;
   match Hashtbl.find_opt t.active_tx key with
   | None -> ()
   | Some st ->
@@ -693,9 +714,9 @@ let rx_ack t key acked =
 
 (* A NACK names the first missing frame: rewind the transmit point to it
    at once (selective go-back-N) without waiting for the RTO. *)
-let rx_nack t key next_expected =
+let rx_nack t ~queue key next_expected =
   let m = model t in
-  Tigon.rx_work t.nic m.Cost_model.nic_rx_classify;
+  Tigon.rx_work ~queue t.nic m.Cost_model.nic_rx_classify;
   match Hashtbl.find_opt t.active_tx key with
   | None -> ()
   | Some st ->
@@ -708,13 +729,13 @@ let rx_nack t key next_expected =
     end;
     Cond.broadcast st.s_cond
 
-let rx_dispatcher t () =
+let rx_dispatcher t queue () =
   let rec loop () =
-    let frame = Mailbox.recv t.rx_queue in
+    let frame = Mailbox.recv t.rx_queues.(queue) in
     (match frame.Uls_ether.Frame.payload with
-    | Wire.Data d -> rx_data t d
-    | Wire.Ack { key; acked } -> rx_ack t key acked
-    | Wire.Nack { key; next_expected } -> rx_nack t key next_expected
+    | Wire.Data d -> rx_data t ~queue d
+    | Wire.Ack { key; acked } -> rx_ack t ~queue key acked
+    | Wire.Nack { key; next_expected } -> rx_nack t ~queue key next_expected
     | _ -> ());
     loop ()
   in
@@ -745,12 +766,18 @@ let create ?(config = default_config) node nic =
       trace = Trace.for_sim sim;
       inv = Invariant.for_sim sim;
       next_msg_id = 0;
-      posted = Match_list.create ();
+      posted = Match_list.create ~engine:(Tigon.match_engine nic) ();
       uq = Vec.create ();
       active_rx = Hashtbl.create 64;
       finished_rx = Hashtbl.create 256;
       active_tx = Hashtbl.create 64;
-      rx_queue = Mailbox.create ~label:"emp:rx-queue" sim;
+      rx_queues =
+        Array.init (Tigon.rx_queues nic) (fun i ->
+            let label =
+              if i = 0 then "emp:rx-queue"
+              else Printf.sprintf "emp:rx-queue%d" i
+            in
+            Mailbox.create ~label sim);
       uq_arrival = Cond.create ~label:"emp:uq-arrival" sim;
       on_send_failure = (fun ~dst:_ ~tag:_ ~retries:_ -> ());
       st_msgs_sent = 0;
@@ -766,6 +793,15 @@ let create ?(config = default_config) node nic =
       st_desc_completed = 0;
     }
   in
-  Tigon.set_firmware_rx nic (fun frame -> Mailbox.send t.rx_queue frame);
-  Sim.spawn sim ~name:"emp-rx-dispatch" ~daemon:true (rx_dispatcher t);
+  Tigon.set_firmware_rx nic (fun frame ->
+      let q = Tigon.steer nic ~flow:frame.Uls_ether.Frame.src in
+      Mailbox.send t.rx_queues.(q) frame);
+  Array.iteri
+    (fun i _ ->
+      let name =
+        if i = 0 then "emp-rx-dispatch"
+        else Printf.sprintf "emp-rx-dispatch%d" i
+      in
+      Sim.spawn sim ~name ~daemon:true (rx_dispatcher t i))
+    t.rx_queues;
   t

@@ -37,6 +37,18 @@ let clear v =
   v.data <- [||];
   v.len <- 0
 
+let truncate v n =
+  if n < 0 || n > v.len then invalid_arg "Vec.truncate";
+  if n = 0 then clear v
+  else begin
+    (* Overwrite the vacated tail to avoid retaining the dropped values. *)
+    let filler = v.data.(0) in
+    for i = n to v.len - 1 do
+      v.data.(i) <- filler
+    done;
+    v.len <- n
+  end
+
 let iter f v =
   for i = 0 to v.len - 1 do
     f v.data.(i)

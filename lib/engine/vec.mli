@@ -13,6 +13,11 @@ val pop : 'a t -> 'a
 (** Remove and return the last element. @raise Invalid_argument if empty. *)
 
 val clear : 'a t -> unit
+
+val truncate : 'a t -> int -> unit
+(** Keep the first [n] elements, dropping the rest in place (no
+    reallocation). @raise Invalid_argument if [n] exceeds the length. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val to_array : 'a t -> 'a array

@@ -18,6 +18,7 @@ type t = {
   nic_rx_classify : Uls_engine.Time.ns;
   nic_rx_per_frame : Uls_engine.Time.ns;
   nic_tag_match_per_desc : Uls_engine.Time.ns;
+  nic_hash_lookup : Uls_engine.Time.ns;
   nic_ack_gen : Uls_engine.Time.ns;
   nic_coll_forward : Uls_engine.Time.ns;
       (** per-frame firmware cost to re-emit a matched collective frame
@@ -55,6 +56,7 @@ let paper_testbed =
     nic_rx_classify = 4_000;
     nic_rx_per_frame = 2_000;
     nic_tag_match_per_desc = 550;
+    nic_hash_lookup = 700;
     nic_ack_gen = 1_500;
     nic_coll_forward = 1_200;
     dma_setup = 1_800;

@@ -29,6 +29,9 @@ type t = {
   nic_rx_classify : Uls_engine.Time.ns;
   nic_rx_per_frame : Uls_engine.Time.ns;
   nic_tag_match_per_desc : Uls_engine.Time.ns;  (** 550 ns: paper §6.3 *)
+  nic_hash_lookup : Uls_engine.Time.ns;
+      (** one hash-table probe of the firmware match index (hashed
+          engine); a concrete lookup makes at most four *)
   nic_ack_gen : Uls_engine.Time.ns;
   nic_coll_forward : Uls_engine.Time.ns;
       (** per-frame firmware cost to re-emit a matched collective frame

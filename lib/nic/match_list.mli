@@ -1,24 +1,51 @@
 (** NIC-side descriptor list with tag matching (EMP §2, R4). An incoming
-    frame is matched against posted descriptors by walking the list in
-    post order; the walk length is returned so the NIC model can charge
-    the per-descriptor match cost the paper measured (~550 ns). *)
+    frame is matched against posted descriptors in post order. Two
+    engines model the two firmware generations:
+
+    - [Linear] — the original walk: every posted descriptor is examined
+      until one matches, so the per-frame cost is O(total posted
+      descriptors) at the paper's ~550 ns each. Faithful to the measured
+      Tigon firmware and kept as the ablation baseline.
+    - [Hashed] — a hash index keyed on (src, tag) with per-key
+      descriptor rings. A concrete frame can match at most four keys
+      ((src,tag), (-1,tag), (src,-1), (-1,-1)), so a lookup costs a few
+      hash probes instead of a walk, independent of how many other
+      connections have descriptors posted.
+
+    Every lookup reports a {!probe} so the NIC model can charge walk and
+    hash costs explicitly. *)
+
+type engine = Linear | Hashed
+
+type probe = { walked : int; lookups : int }
+(** [walked]: descriptors examined (linear walk or ring heads compared);
+    [lookups]: hash-table probes (0 for the linear engine). *)
+
+val no_probe : probe
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?engine:engine -> unit -> 'a t
+(** Default [Linear] — the measured firmware behaviour. *)
+
+val engine : 'a t -> engine
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
 val length : 'a t -> int
 
 val post : 'a t -> src:int -> tag:int -> 'a -> unit
 (** Append a descriptor matching sender [src] and 16-bit [tag].
     [src = -1] or [tag = -1] act as wildcards. *)
 
-val take : 'a t -> src:int -> tag:int -> ('a * int) option
+val take : 'a t -> src:int -> tag:int -> 'a option * probe
 (** Find, remove and return the first descriptor matching an incoming
-    frame from [src] with [tag], together with the number of descriptors
-    walked (matched one included). [None] means no match — the walk then
-    covered the whole list. *)
+    frame from [src] with [tag], with the match cost actually incurred.
+    [None] means no match — the probe then covers the whole search. Both
+    engines return the same descriptor in the same order (hashed falls
+    back to the linear walk when the query itself carries a wildcard,
+    where cross-key FIFO order matters). *)
 
-val find : 'a t -> src:int -> tag:int -> ('a * int) option
+val find : 'a t -> src:int -> tag:int -> 'a option * probe
 (** Like {!take} but without removing the matched descriptor — used by
     forward-on-match descriptors that persist across several frames
     (collective combine descriptors count arrivals down to zero before

@@ -23,7 +23,7 @@ type t = {
   trace : Trace.t;
   net : Uls_ether.Network.t;
   tx_cpu : Resource.t;
-  rx_cpu : Resource.t;
+  rx_cpus : Resource.t array;
   dma_engine : Resource.t;
   mutable firmware_rx : Uls_ether.Frame.t -> unit;
   mutable rx_frames : int;
@@ -45,6 +45,33 @@ type t = {
    retry — the collective protocols post before signalling precisely so
    this stays a cold path). *)
 let fwd_pending_limit = 128
+
+let match_engine t = Match_list.engine t.fwd_list
+let rx_queues t = Array.length t.rx_cpus
+
+(* RSS: shard flows across the Tigon's receive cores with a multiplicative
+   hash (Fibonacci constant), so one queue's match load never serializes
+   behind another's. With a single core (linear firmware) everything lands
+   on queue 0. *)
+let steer t ~flow =
+  let n = Array.length t.rx_cpus in
+  if n = 1 then 0
+  else begin
+    let h = flow * 0x9E3779B1 in
+    let h = h lxor (h lsr 15) in
+    h land (n - 1)
+  end
+
+let match_cost t (p : Match_list.probe) =
+  (p.walked * t.model.Cost_model.nic_tag_match_per_desc)
+  + (p.lookups * t.model.Cost_model.nic_hash_lookup)
+
+let observe_match t (p : Match_list.probe) =
+  Metrics.observe t.metrics ~node:t.node_id "nic.match_walk_descs"
+    (float_of_int p.walked);
+  if p.lookups > 0 then
+    Metrics.observe t.metrics ~node:t.node_id "nic.match_hash_lookups"
+      (float_of_int p.lookups)
 
 let fwd_complete t fwd completing =
   (match Match_list.remove_first t.fwd_list (fun f -> f == fwd) with
@@ -75,7 +102,7 @@ let fwd_complete t fwd completing =
 
 let fwd_match t ~src ~tag frame =
   match Match_list.find t.fwd_list ~src ~tag with
-  | None ->
+  | None, _ ->
     if Vec.length t.fwd_pending >= fwd_pending_limit then begin
       (* Shift out the oldest entry. *)
       let keep = ref [] in
@@ -84,14 +111,15 @@ let fwd_match t ~src ~tag frame =
       List.iter (Vec.push t.fwd_pending) (List.tl (List.rev !keep))
     end;
     Vec.push t.fwd_pending (src, tag, frame)
-  | Some (fwd, walked) ->
-    Resource.use t.rx_cpu (walked * t.model.Cost_model.nic_tag_match_per_desc);
+  | Some fwd, probe ->
+    Resource.use t.rx_cpus.(0) (match_cost t probe);
     t.coll_matched <- t.coll_matched + 1;
     Metrics.incr t.metrics ~node:t.node_id "nic.coll_matched";
     Metrics.observe t.metrics ~node:t.node_id "nic.fwd_walk_descs"
-      (float_of_int walked);
+      (float_of_int probe.walked);
+    observe_match t probe;
     Trace.instant t.trace ~layer:Trace.Nic ~node:t.node_id "nic.fwd_match"
-      ~args:[ ("walked", string_of_int walked) ];
+      ~args:[ ("walked", string_of_int probe.walked) ];
     fwd.fwd_need <- fwd.fwd_need - 1;
     if fwd.fwd_need <= 0 then fwd_complete t fwd frame
 
@@ -101,13 +129,13 @@ let fwd_fiber t () =
     (match Mailbox.recv t.fwd_queue with
     | Fwd_arrive (src, tag, frame) ->
       (match frame with
-      | Some _ -> Resource.use t.rx_cpu m.Cost_model.nic_rx_classify
+      | Some _ -> Resource.use t.rx_cpus.(0) m.Cost_model.nic_rx_classify
       | None ->
         (* Host doorbell: the firmware fetches the mailbox word. *)
-        Resource.use t.rx_cpu m.Cost_model.nic_mailbox_fetch);
+        Resource.use t.rx_cpus.(0) m.Cost_model.nic_mailbox_fetch);
       fwd_match t ~src ~tag frame
     | Fwd_post fwd ->
-      Resource.use t.rx_cpu m.Cost_model.nic_mailbox_fetch;
+      Resource.use t.rx_cpus.(0) m.Cost_model.nic_mailbox_fetch;
       Match_list.post t.fwd_list ~src:fwd.fwd_src ~tag:fwd.fwd_tag fwd;
       (* Drain collective frames that raced ahead of the descriptor. *)
       let rec drain () =
@@ -132,7 +160,7 @@ let fwd_fiber t () =
             List.iteri
               (fun j e -> if j <> idx then Vec.push t.fwd_pending e)
               (List.rev !keep);
-            Resource.use t.rx_cpu m.Cost_model.nic_rx_classify;
+            Resource.use t.rx_cpus.(0) m.Cost_model.nic_rx_classify;
             fwd_match t ~src ~tag frame;
             drain ()
         end
@@ -142,8 +170,12 @@ let fwd_fiber t () =
   in
   loop ()
 
-let create sim model net ~node =
+let create ?(match_engine = Match_list.Linear) sim model net ~node =
   let name part = Printf.sprintf "nic%d-%s" node part in
+  (* The Tigon2 carries two embedded MIPS cores beyond the dedicated send
+     core; the hashed firmware runs a receive queue on each, the original
+     linear firmware dedicates a single core to receive. *)
+  let n_rx = match match_engine with Match_list.Linear -> 1 | Hashed -> 2 in
   let t =
     {
       node_id = node;
@@ -153,12 +185,15 @@ let create sim model net ~node =
       trace = Trace.for_sim sim;
       net;
       tx_cpu = Resource.create sim ~name:(name "txcpu");
-      rx_cpu = Resource.create sim ~name:(name "rxcpu");
+      rx_cpus =
+        Array.init n_rx (fun i ->
+            let part = if i = 0 then "rxcpu" else Printf.sprintf "rxcpu%d" i in
+            Resource.create sim ~name:(name part));
       dma_engine = Resource.create sim ~name:(name "dma");
       firmware_rx = (fun _ -> ());
       rx_frames = 0;
       coll_classify = (fun _ -> None);
-      fwd_list = Match_list.create ();
+      fwd_list = Match_list.create ~engine:match_engine ();
       fwd_pending = Vec.create ();
       fwd_queue = Mailbox.create sim;
       coll_matched = 0;
@@ -174,8 +209,10 @@ let create sim model net ~node =
            before the checksum verdict. *)
         Metrics.incr t.metrics ~node "nic.rx_crc_drop";
         Trace.instant t.trace ~layer:Trace.Nic ~node "nic.rx_crc_drop";
+        let q = steer t ~flow:frame.Uls_ether.Frame.src in
         ignore
-          (Resource.completion_after t.rx_cpu model.Cost_model.nic_rx_classify)
+          (Resource.completion_after t.rx_cpus.(q)
+             model.Cost_model.nic_rx_classify)
       end
       else begin
         t.rx_frames <- t.rx_frames + 1;
@@ -211,16 +248,16 @@ let tx_work t d =
   Trace.span t.trace ~layer:Trace.Nic ~node:t.node_id "nic.tx_work" (fun () ->
       Resource.use t.tx_cpu d)
 
-let rx_work t d =
+let rx_work ?(queue = 0) t d =
   Trace.span t.trace ~layer:Trace.Nic ~node:t.node_id "nic.rx_work" (fun () ->
-      Resource.use t.rx_cpu d)
+      Resource.use t.rx_cpus.(queue) d)
 let dma t ~bytes = Resource.use t.dma_engine (Cost_model.dma_cost t.model bytes)
 
 let mailbox_ring t =
   ignore (Resource.completion_after t.tx_cpu t.model.Cost_model.nic_mailbox_fetch)
 
 let tx_cpu t = t.tx_cpu
-let rx_cpu t = t.rx_cpu
+let rx_cpu ?(queue = 0) t = t.rx_cpus.(queue)
 let dma_engine t = t.dma_engine
 let frames_received t = t.rx_frames
 

@@ -8,9 +8,35 @@
 type t
 
 val create :
-  Uls_engine.Sim.t -> Uls_host.Cost_model.t -> Uls_ether.Network.t -> node:int -> t
+  ?match_engine:Match_list.engine ->
+  Uls_engine.Sim.t ->
+  Uls_host.Cost_model.t ->
+  Uls_ether.Network.t ->
+  node:int ->
+  t
+(** [match_engine] selects the firmware tag-match generation (default
+    [Linear], the measured original). [Hashed] also enables the second
+    embedded receive core: frames are RSS-steered across two receive
+    queues via {!steer}. *)
 
 val node_id : t -> int
+val match_engine : t -> Match_list.engine
+
+val rx_queues : t -> int
+(** Number of receive queues (1 linear, 2 hashed). *)
+
+val steer : t -> flow:int -> int
+(** RSS steering: which receive queue handles flows hashing from [flow]
+    (callers use the peer node id). Always 0 with a single queue. *)
+
+val match_cost : t -> Match_list.probe -> Uls_engine.Time.ns
+(** Firmware time for one descriptor lookup: walked descriptors at
+    [nic_tag_match_per_desc] plus hash probes at [nic_hash_lookup]. *)
+
+val observe_match : t -> Match_list.probe -> unit
+(** Record [nic.match_walk_descs] (every lookup, both engines) and
+    [nic.match_hash_lookups] (hashed probes only). *)
+
 val sim : t -> Uls_engine.Sim.t
 val model : t -> Uls_host.Cost_model.t
 
@@ -24,7 +50,8 @@ val transmit : t -> Uls_ether.Frame.t -> unit
 val tx_work : t -> Uls_engine.Time.ns -> unit
 (** Occupy the send core for the given processing time (fiber). *)
 
-val rx_work : t -> Uls_engine.Time.ns -> unit
+val rx_work : ?queue:int -> t -> Uls_engine.Time.ns -> unit
+(** Occupy a receive core (default queue 0) for the given time (fiber). *)
 
 val dma : t -> bytes:int -> unit
 (** One DMA transaction over the PCI bus (fiber): setup + per-byte. *)
@@ -34,7 +61,7 @@ val mailbox_ring : t -> unit
     asynchronously (does not block the caller). *)
 
 val tx_cpu : t -> Uls_engine.Resource.t
-val rx_cpu : t -> Uls_engine.Resource.t
+val rx_cpu : ?queue:int -> t -> Uls_engine.Resource.t
 val dma_engine : t -> Uls_engine.Resource.t
 val frames_received : t -> int
 

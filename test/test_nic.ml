@@ -1,66 +1,116 @@
 (* Tests for the NIC model: tag matching list semantics and walk
-   accounting, Tigon resources and transmit backpressure. *)
+   accounting (both engines), descriptor rings, RSS steering, Tigon
+   resources and transmit backpressure. *)
 open Uls_engine
 open Uls_nic
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
-(* --- Match_list --- *)
+(* --- Match_list (every semantic test runs under both engines) --- *)
 
-let test_match_basic () =
-  let ml = Match_list.create () in
+let test_match_basic engine () =
+  let ml = Match_list.create ~engine () in
   Match_list.post ml ~src:1 ~tag:10 "a";
   Match_list.post ml ~src:1 ~tag:11 "b";
   (match Match_list.take ml ~src:1 ~tag:11 with
-  | Some ("b", walked) -> check_int "walked past a" 2 walked
+  | Some "b", _ -> ()
   | _ -> Alcotest.fail "expected b");
   check_int "one left" 1 (Match_list.length ml);
-  (match Match_list.take ml ~src:1 ~tag:10 with
-  | Some ("a", walked) -> check_int "head match walks 1" 1 walked
-  | _ -> Alcotest.fail "expected a")
+  match Match_list.take ml ~src:1 ~tag:10 with
+  | Some "a", _ -> ()
+  | _ -> Alcotest.fail "expected a"
 
-let test_match_fifo_same_tag () =
-  let ml = Match_list.create () in
+let test_match_walk_accounting () =
+  (* Linear engine: probe.walked counts descriptors examined, matched
+     one included; no hash lookups. *)
+  let ml = Match_list.create ~engine:Match_list.Linear () in
+  Match_list.post ml ~src:1 ~tag:10 "a";
+  Match_list.post ml ~src:1 ~tag:11 "b";
+  (match Match_list.take ml ~src:1 ~tag:11 with
+  | Some "b", { Match_list.walked; lookups } ->
+    check_int "walked past a" 2 walked;
+    check_int "no hash lookups" 0 lookups
+  | _ -> Alcotest.fail "expected b");
+  match Match_list.take ml ~src:1 ~tag:10 with
+  | Some "a", { Match_list.walked; _ } -> check_int "head match walks 1" 1 walked
+  | _ -> Alcotest.fail "expected a"
+
+let test_hashed_lookup_accounting () =
+  (* Hashed engine: cost is hash probes + ring-head comparisons,
+     independent of how many other keys hold descriptors. *)
+  let ml = Match_list.create ~engine:Match_list.Hashed () in
+  for i = 0 to 999 do
+    Match_list.post ml ~src:i ~tag:7 i
+  done;
+  (match Match_list.take ml ~src:999 ~tag:7 with
+  | Some 999, { Match_list.walked; lookups } ->
+    check_bool "walked stays O(1)" true (walked <= 4);
+    check_bool "few hash probes" true (lookups >= 1 && lookups <= 4)
+  | _ -> Alcotest.fail "expected 999");
+  (* A miss is cheap too: no full-list walk. *)
+  match Match_list.take ml ~src:5000 ~tag:7 with
+  | None, { Match_list.walked; _ } -> check_bool "miss is O(1)" true (walked <= 4)
+  | Some _, _ -> Alcotest.fail "unexpected match"
+
+let test_match_fifo_same_tag engine () =
+  let ml = Match_list.create ~engine () in
   Match_list.post ml ~src:1 ~tag:5 "first";
   Match_list.post ml ~src:1 ~tag:5 "second";
   (match Match_list.take ml ~src:1 ~tag:5 with
-  | Some ("first", 1) -> ()
+  | Some "first", _ -> ()
   | _ -> Alcotest.fail "FIFO violated");
   match Match_list.take ml ~src:1 ~tag:5 with
-  | Some ("second", 1) -> ()
+  | Some "second", _ -> ()
   | _ -> Alcotest.fail "second not found at head"
 
-let test_match_src_filter () =
-  let ml = Match_list.create () in
+let test_match_src_filter engine () =
+  let ml = Match_list.create ~engine () in
   Match_list.post ml ~src:1 ~tag:5 "from1";
   Match_list.post ml ~src:2 ~tag:5 "from2";
   (match Match_list.take ml ~src:2 ~tag:5 with
-  | Some ("from2", 2) -> ()
+  | Some "from2", _ -> ()
   | _ -> Alcotest.fail "src filter failed");
   check_int "from1 remains" 1 (Match_list.length ml)
 
-let test_match_wildcards () =
-  let ml = Match_list.create () in
+let test_match_wildcards engine () =
+  let ml = Match_list.create ~engine () in
   Match_list.post ml ~src:(-1) ~tag:9 "anysrc";
   (match Match_list.take ml ~src:42 ~tag:9 with
-  | Some ("anysrc", _) -> ()
+  | Some "anysrc", _ -> ()
   | _ -> Alcotest.fail "wildcard src should match");
   Match_list.post ml ~src:3 ~tag:(-1) "anytag";
-  match Match_list.take ml ~src:3 ~tag:12345 with
-  | Some ("anytag", _) -> ()
-  | _ -> Alcotest.fail "wildcard tag should match"
+  (match Match_list.take ml ~src:3 ~tag:12345 with
+  | Some "anytag", _ -> ()
+  | _ -> Alcotest.fail "wildcard tag should match");
+  Match_list.post ml ~src:(-1) ~tag:(-1) "anything";
+  match Match_list.take ml ~src:7 ~tag:7 with
+  | Some "anything", _ -> ()
+  | _ -> Alcotest.fail "full wildcard should match"
 
-let test_match_miss_walks_all () =
-  let ml = Match_list.create () in
+let test_wildcard_beats_later_exact engine () =
+  (* Post order decides between a wildcard and an exact match: the
+     earlier post wins, whichever class it is in. *)
+  let ml = Match_list.create ~engine () in
+  Match_list.post ml ~src:(-1) ~tag:4 "wild-first";
+  Match_list.post ml ~src:2 ~tag:4 "exact-later";
+  (match Match_list.take ml ~src:2 ~tag:4 with
+  | Some "wild-first", _ -> ()
+  | _ -> Alcotest.fail "earlier wildcard should win");
+  match Match_list.take ml ~src:2 ~tag:4 with
+  | Some "exact-later", _ -> ()
+  | _ -> Alcotest.fail "exact entry should remain"
+
+let test_match_miss_walks_all engine () =
+  let ml = Match_list.create ~engine () in
   for i = 0 to 9 do
     Match_list.post ml ~src:1 ~tag:i i
   done;
-  check_bool "no match" true (Match_list.take ml ~src:1 ~tag:99 = None);
+  check_bool "no match" true (fst (Match_list.take ml ~src:1 ~tag:99) = None);
   check_int "all still posted" 10 (Match_list.length ml)
 
-let test_unpost () =
-  let ml = Match_list.create () in
+let test_unpost engine () =
+  let ml = Match_list.create ~engine () in
   for i = 0 to 4 do
     Match_list.post ml ~src:1 ~tag:i i
   done;
@@ -71,6 +121,18 @@ let test_unpost () =
   Alcotest.(check (list int)) "rest in order" [ 1; 3 ] rest;
   check_int "empty" 0 (Match_list.length ml)
 
+let test_unposted_never_matches engine () =
+  (* An entry tombstoned through the global list must not surface via
+     the hashed rings later. *)
+  let ml = Match_list.create ~engine () in
+  Match_list.post ml ~src:1 ~tag:1 "dead";
+  Match_list.post ml ~src:1 ~tag:1 "live";
+  ignore (Match_list.unpost_matching ml (fun v -> v = "dead"));
+  (match Match_list.take ml ~src:1 ~tag:1 with
+  | Some "live", _ -> ()
+  | _ -> Alcotest.fail "tombstone leaked");
+  check_bool "empty now" true (fst (Match_list.take ml ~src:1 ~tag:1) = None)
+
 let test_removed_not_counted_in_walk () =
   let ml = Match_list.create () in
   for i = 0 to 9 do
@@ -78,11 +140,12 @@ let test_removed_not_counted_in_walk () =
   done;
   ignore (Match_list.unpost_matching ml (fun v -> v < 9));
   match Match_list.take ml ~src:1 ~tag:9 with
-  | Some (9, walked) -> check_int "tombstones are free to skip" 1 walked
+  | Some 9, { Match_list.walked; _ } ->
+    check_int "tombstones are free to skip" 1 walked
   | _ -> Alcotest.fail "expected 9"
 
-let test_compaction_preserves_order () =
-  let ml = Match_list.create () in
+let test_compaction_preserves_order engine () =
+  let ml = Match_list.create ~engine () in
   for i = 0 to 99 do
     Match_list.post ml ~src:1 ~tag:i i
   done;
@@ -93,6 +156,44 @@ let test_compaction_preserves_order () =
   Alcotest.(check (list int)) "order kept"
     [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90 ]
     (List.rev !rest)
+
+let test_churn_10k engine () =
+  (* Sustained post/take churn across 10k entries: the in-place
+     compaction must keep FIFO-per-key order the whole way (and not
+     blow up quadratically — this test is also the regression witness
+     for the list-rebuild compaction it replaced). *)
+  let ml = Match_list.create ~engine () in
+  let next = Array.make 7 0 and posted = Array.make 7 0 in
+  let total = 10_000 in
+  for i = 0 to total - 1 do
+    let key = i mod 7 in
+    Match_list.post ml ~src:key ~tag:key (i / 7);
+    posted.(key) <- posted.(key) + 1;
+    (* Every third post, drain two entries: constant churn keeps the
+       vector full of tombstones and compaction busy. *)
+    if i mod 3 = 2 then
+      for _ = 1 to 2 do
+        let key = (i / 3) mod 7 in
+        if next.(key) < posted.(key) then begin
+          match Match_list.take ml ~src:key ~tag:key with
+          | Some v, _ ->
+            check_int "FIFO within key under churn" next.(key) v;
+            next.(key) <- next.(key) + 1
+          | None, _ -> Alcotest.fail "posted entry vanished"
+        end
+      done
+  done;
+  (* Drain the rest; order must still hold per key. *)
+  for key = 0 to 6 do
+    while next.(key) < posted.(key) do
+      match Match_list.take ml ~src:key ~tag:key with
+      | Some v, _ ->
+        check_int "FIFO within key at drain" next.(key) v;
+        next.(key) <- next.(key) + 1
+      | None, _ -> Alcotest.fail "posted entry vanished at drain"
+    done
+  done;
+  check_int "all drained" 0 (Match_list.length ml)
 
 let prop_match_list_vs_model =
   (* Compare against a naive list model under random post/take. *)
@@ -126,19 +227,112 @@ let prop_match_list_vs_model =
               find !model
             in
             match (Match_list.take ml ~src ~tag, expected) with
-            | Some (v, _), Some v' -> v = v'
-            | None, None -> true
+            | (Some v, _), Some v' -> v = v'
+            | (None, _), None -> true
             | _ -> false
           end)
         ops)
 
+(* Hashed-vs-linear parity: randomized posts mixing exact, src-wildcard,
+   tag-wildcard and fully-wildcard descriptors, queried with concrete
+   and wildcard (src = -1 / tag = -1) lookups; both engines must return
+   identical entries in identical (FIFO-within-key, post-order-across-
+   key) order. Seeds pinned so every run replays the same histories. *)
+let test_engine_parity_seeded () =
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let lin = Match_list.create ~engine:Match_list.Linear () in
+      let hsh = Match_list.create ~engine:Match_list.Hashed () in
+      let counter = ref 0 in
+      let pick_id () =
+        (* -1 (wildcard) sometimes; small ranges force key collisions. *)
+        if Random.State.int rng 5 = 0 then -1 else Random.State.int rng 4
+      in
+      for _ = 1 to 3_000 do
+        match Random.State.int rng 5 with
+        | 0 | 1 | 2 ->
+          incr counter;
+          let src = pick_id () and tag = pick_id () in
+          Match_list.post lin ~src ~tag !counter;
+          Match_list.post hsh ~src ~tag !counter
+        | 3 ->
+          (* Query side: concrete most of the time, wildcard sometimes
+             (the hashed engine's documented linear fallback). *)
+          let src = pick_id () and tag = pick_id () in
+          let l, _ = Match_list.take lin ~src ~tag in
+          let h, _ = Match_list.take hsh ~src ~tag in
+          if l <> h then
+            Alcotest.failf "seed %d: take(%d,%d): linear=%s hashed=%s" seed src
+              tag
+              (match l with None -> "none" | Some v -> string_of_int v)
+              (match h with None -> "none" | Some v -> string_of_int v)
+        | _ ->
+          let src = pick_id () and tag = pick_id () in
+          let l, _ = Match_list.find lin ~src ~tag in
+          let h, _ = Match_list.find hsh ~src ~tag in
+          if l <> h then Alcotest.failf "seed %d: find mismatch" seed
+      done;
+      (* Drain both fully with a universal query: remaining order must
+         agree entry by entry. *)
+      let rec drain () =
+        let l, _ = Match_list.take lin ~src:(-1) ~tag:(-1) in
+        let h, _ = Match_list.take hsh ~src:(-1) ~tag:(-1) in
+        if l <> h then Alcotest.failf "seed %d: drain order diverged" seed;
+        if l <> None then drain ()
+      in
+      drain ())
+    [ 7; 42; 1337; 9001; 123456 ]
+
+(* --- Desc_ring --- *)
+
+let test_desc_ring_fifo () =
+  let r = Desc_ring.create ~dead:(fun v -> !v < 0) () in
+  let cells = Array.init 20 (fun i -> ref i) in
+  Array.iter (Desc_ring.push r) cells;
+  check_int "length" 20 (Desc_ring.length r);
+  (* Tombstone a prefix and some interior entries. *)
+  List.iter (fun i -> cells.(i) := -1) [ 0; 1; 2; 5; 7 ];
+  (match Desc_ring.peek r with
+  | Some v -> check_int "peek reaps dead heads" 3 !v
+  | None -> Alcotest.fail "empty after reap");
+  (match Desc_ring.pop r with
+  | Some v -> check_int "pop returns live head" 3 !v
+  | None -> Alcotest.fail "pop failed");
+  (match Desc_ring.pop r with
+  | Some v -> check_int "next live" 4 !v
+  | None -> Alcotest.fail "pop failed");
+  (* Interior tombstones are reaped when they surface. *)
+  (match Desc_ring.pop r with
+  | Some v -> check_int "skips 5" 6 !v
+  | None -> Alcotest.fail "pop failed");
+  (match Desc_ring.pop r with
+  | Some v -> check_int "skips 7" 8 !v
+  | None -> Alcotest.fail "pop failed");
+  (* Push while partially drained exercises the circular wrap. *)
+  for i = 20 to 40 do
+    Desc_ring.push r (ref i)
+  done;
+  let last = ref (-1) in
+  let rec drain () =
+    match Desc_ring.pop r with
+    | Some v ->
+      check_bool "monotone drain" true (!v > !last);
+      last := !v;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check_int "fully drained" 0 (Desc_ring.length r);
+  check_bool "empty" true (Desc_ring.is_empty r)
+
 (* --- Tigon --- *)
 
-let mk_nic () =
+let mk_nic ?match_engine () =
   let sim = Sim.create () in
   let model = Uls_host.Cost_model.paper_testbed in
   let net = Uls_ether.Network.create sim ~stations:2 () in
-  (sim, Tigon.create sim model net ~node:0, net)
+  (sim, Tigon.create ?match_engine sim model net ~node:0, net)
 
 let test_tigon_resources_serialize () =
   let sim, nic, _ = mk_nic () in
@@ -186,25 +380,66 @@ let test_tigon_rx_dispatch () =
   check_int "firmware handler ran" 1 !got;
   check_int "counter" 1 (Tigon.frames_received nic1)
 
+let test_tigon_rss_steering () =
+  (* Linear firmware: single receive queue, everything steers to 0.
+     Hashed firmware: two queues, both actually used, and steering is a
+     pure function of the flow. *)
+  let _, lin, _ = mk_nic () in
+  check_int "linear has 1 rx queue" 1 (Tigon.rx_queues lin);
+  for flow = 0 to 31 do
+    check_int "all flows on queue 0" 0 (Tigon.steer lin ~flow)
+  done;
+  let _, hsh, _ = mk_nic ~match_engine:Match_list.Hashed () in
+  check_int "hashed has 2 rx queues" 2 (Tigon.rx_queues hsh);
+  let seen = Array.make 2 0 in
+  for flow = 0 to 31 do
+    let q = Tigon.steer hsh ~flow in
+    check_bool "queue in range" true (q = 0 || q = 1);
+    check_int "steering is stable" q (Tigon.steer hsh ~flow);
+    seen.(q) <- seen.(q) + 1
+  done;
+  check_bool "both queues used" true (seen.(0) > 0 && seen.(1) > 0)
+
+let engine_cases name f =
+  [
+    Alcotest.test_case (name ^ " (linear)") `Quick (f Match_list.Linear);
+    Alcotest.test_case (name ^ " (hashed)") `Quick (f Match_list.Hashed);
+  ]
+
 let suites =
   [
     ( "nic.match_list",
-      Alcotest.test_case "basic" `Quick test_match_basic
-      :: Alcotest.test_case "FIFO same tag" `Quick test_match_fifo_same_tag
-      :: Alcotest.test_case "src filter" `Quick test_match_src_filter
-      :: Alcotest.test_case "wildcards" `Quick test_match_wildcards
-      :: Alcotest.test_case "miss walks all" `Quick test_match_miss_walks_all
-      :: Alcotest.test_case "unpost" `Quick test_unpost
-      :: Alcotest.test_case "tombstones free" `Quick
-           test_removed_not_counted_in_walk
-      :: Alcotest.test_case "compaction order" `Quick
-           test_compaction_preserves_order
-      :: List.map QCheck_alcotest.to_alcotest [ prop_match_list_vs_model ] );
+      List.concat
+        [
+          engine_cases "basic" test_match_basic;
+          [ Alcotest.test_case "linear walk accounting" `Quick
+              test_match_walk_accounting;
+            Alcotest.test_case "hashed lookup accounting" `Quick
+              test_hashed_lookup_accounting ];
+          engine_cases "FIFO same tag" test_match_fifo_same_tag;
+          engine_cases "src filter" test_match_src_filter;
+          engine_cases "wildcards" test_match_wildcards;
+          engine_cases "wildcard beats later exact"
+            test_wildcard_beats_later_exact;
+          engine_cases "miss walks all" test_match_miss_walks_all;
+          engine_cases "unpost" test_unpost;
+          engine_cases "unposted never matches" test_unposted_never_matches;
+          [ Alcotest.test_case "tombstones free" `Quick
+              test_removed_not_counted_in_walk ];
+          engine_cases "compaction order" test_compaction_preserves_order;
+          engine_cases "10k churn keeps order" test_churn_10k;
+          [ Alcotest.test_case "engine parity (pinned seeds)" `Quick
+              test_engine_parity_seeded ];
+          List.map QCheck_alcotest.to_alcotest [ prop_match_list_vs_model ];
+        ] );
+    ( "nic.desc_ring",
+      [ Alcotest.test_case "FIFO with tombstones" `Quick test_desc_ring_fifo ] );
     ( "nic.tigon",
       [
         Alcotest.test_case "resource FIFO" `Quick test_tigon_resources_serialize;
         Alcotest.test_case "dma cost" `Quick test_tigon_dma_cost;
         Alcotest.test_case "tx backpressure" `Quick test_tigon_backpressure;
         Alcotest.test_case "rx dispatch" `Quick test_tigon_rx_dispatch;
+        Alcotest.test_case "rss steering" `Quick test_tigon_rss_steering;
       ] );
   ]
