@@ -75,7 +75,7 @@ let dump_metrics m = Uls_engine.Metrics.dump m Format.std_formatter
    accumulates across commits. Every record carries a schema version so
    downstream tooling can tell record generations apart. Values arrive
    pre-rendered (ints, %.3f floats, quoted strings). *)
-let bench_schema_version = 2
+let bench_schema_version = 3
 
 let emit_json ~file fields =
   let fields = ("schema", string_of_int bench_schema_version) :: fields in
@@ -91,6 +91,102 @@ let emit_json ~file fields =
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf "record appended -> %s\n" file
+
+let sched_conv =
+  let parse = function
+    | "heap" -> Ok `Heap
+    | "wheel" -> Ok `Wheel
+    | s -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))
+  in
+  let print fmt s =
+    Format.pp_print_string fmt (match s with `Heap -> "heap" | `Wheel -> "wheel")
+  in
+  Arg.conv (parse, print)
+
+let sched_flag default =
+  Arg.(value & opt sched_conv default
+       & info [ "sched" ] ~docv:"SCHED"
+           ~doc:"Simulator event queue: $(b,wheel) (hierarchical timing \
+                 wheel, O(1) amortized) or $(b,heap) (binary heap \
+                 baseline). Dispatch order is byte-identical either way.")
+
+let sched_name = function `Heap -> "heap" | `Wheel -> "wheel"
+
+(* Parse one flat record emitted by [emit_json] back into fields — the
+   --check gates read committed BENCH_*.json baselines with this. Only
+   handles the shape we emit: one {"k":v,...} object per line, values
+   ints / %.3f floats / bools / %S strings. *)
+let parse_record line =
+  let n = String.length line in
+  let i = ref 0 in
+  let expect c = if !i < n && line.[!i] = c then incr i else raise Exit in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then raise Exit
+      else
+        match line.[!i] with
+        | '"' -> incr i
+        | '\\' ->
+          incr i;
+          if !i < n then begin
+            Buffer.add_char b line.[!i];
+            incr i
+          end;
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr i;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let fields = ref [] in
+  try
+    expect '{';
+    let rec loop () =
+      if !i < n && line.[!i] = '}' then ()
+      else begin
+        let k = parse_string () in
+        expect ':';
+        let v =
+          if !i < n && line.[!i] = '"' then parse_string ()
+          else begin
+            let j = !i in
+            while !i < n && line.[!i] <> ',' && line.[!i] <> '}' do
+              incr i
+            done;
+            String.sub line j (!i - j)
+          end
+        in
+        fields := (k, v) :: !fields;
+        if !i < n && line.[!i] = ',' then begin
+          incr i;
+          loop ()
+        end
+      end
+    in
+    loop ();
+    Some (List.rev !fields)
+  with Exit -> None
+
+let read_records file =
+  if not (Sys.file_exists file) then []
+  else begin
+    let ic = open_in file in
+    let recs = ref [] in
+    (try
+       while true do
+         match parse_record (input_line ic) with
+         | Some r -> recs := r :: !recs
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !recs
+  end
 
 let match_conv =
   let parse s =
@@ -326,7 +422,8 @@ let serve_cmd =
                  lost request, mismatch or divergence.")
   in
   let build_config stack workload open_loop ~conns ~requests ~size ~think
-      ~seed ~loss ~clients ~backlog ~workers ~max_inflight ~match_engine =
+      ~seed ~loss ~clients ~backlog ~workers ~max_inflight ~match_engine
+      ~event_sched =
     let kind = serve_kind stack in
     let client_nodes =
       if clients > 0 then clients else max 2 (min 8 ((conns + 511) / 512))
@@ -361,6 +458,7 @@ let serve_cmd =
       backlog;
       sched;
       match_engine;
+      event_sched;
     }
   in
   let run_one ?on_metrics cfg =
@@ -382,7 +480,12 @@ let serve_cmd =
            | Load.Closed -> "closed"
            | Load.Open r -> Printf.sprintf "open@%.0f" r));
         ("match",
-         json_str (Uls_nic.Match_list.engine_name cfg.Load.match_engine));
+         json_str
+           (match cfg.Load.kind with
+           | Chaos.Tcp _ -> "n/a" (* kernel path: no NIC tag matching *)
+           | Chaos.Sub _ ->
+             Uls_nic.Match_list.engine_name cfg.Load.match_engine));
+        ("sched", json_str (sched_name cfg.Load.event_sched));
         ("conns", json_int cfg.Load.conns);
         ("requests_per_conn", json_int cfg.Load.requests_per_conn);
         ("size", json_int cfg.Load.size);
@@ -407,16 +510,17 @@ let serve_cmd =
       ]
   in
   let run stack conns requests size workload open_loop think seed loss clients
-      backlog workers max_inflight match_engine smoke metrics json =
+      backlog workers max_inflight match_engine event_sched smoke metrics json =
     let on_metrics = if metrics then Some dump_metrics else None in
     if smoke then begin
-      (* Pinned-seed CI matrix; flags other than --metrics are ignored. *)
+      (* Pinned-seed CI matrix; flags other than --metrics and --sched
+         are ignored. *)
       let failures = ref 0 in
       let smoke_config ?(match_engine = Uls_nic.Match_list.Hashed) stack
           workload =
         build_config stack workload None ~conns:128 ~requests:4 ~size:256
           ~think:0. ~seed:42 ~loss:0. ~clients:2 ~backlog:0 ~workers:4
-          ~max_inflight:0 ~match_engine
+          ~max_inflight:0 ~match_engine ~event_sched
       in
       let check r =
         if
@@ -445,22 +549,24 @@ let serve_cmd =
       let scale_config stack engine =
         build_config stack Load.Echo None ~conns:512 ~requests:2 ~size:256
           ~think:0. ~seed:42 ~loss:0. ~clients:4 ~backlog:0 ~workers:4
-          ~max_inflight:0 ~match_engine:engine
+          ~max_inflight:0 ~match_engine:engine ~event_sched
       in
-      List.iter
-        (fun st ->
-          let lin = run_one ?on_metrics (scale_config st Uls_nic.Match_list.Linear) in
-          let hsh = run_one ?on_metrics (scale_config st Uls_nic.Match_list.Hashed) in
-          check lin;
-          check hsh;
-          if hsh.Load.rps < lin.Load.rps *. 0.999 then begin
-            Printf.eprintf
-              "ulsbench serve --smoke: hashed slower than linear at 512 \
-               conns (%.0f vs %.0f req/s)\n"
-              hsh.Load.rps lin.Load.rps;
-            incr failures
-          end)
-        [ `Ds; `Tcp ];
+      (* Match-engine ablation only on the substrate stack: TCP takes the
+         kernel receive path and never touches the NIC tag matcher, so a
+         linear-vs-hashed pair there is the same run counted twice. *)
+      let lin = run_one ?on_metrics (scale_config `Ds Uls_nic.Match_list.Linear) in
+      let hsh = run_one ?on_metrics (scale_config `Ds Uls_nic.Match_list.Hashed) in
+      check lin;
+      check hsh;
+      if hsh.Load.rps < lin.Load.rps *. 0.999 then begin
+        Printf.eprintf
+          "ulsbench serve --smoke: hashed slower than linear at 512 \
+           conns (%.0f vs %.0f req/s)\n"
+          hsh.Load.rps lin.Load.rps;
+        incr failures
+      end;
+      (* TCP at the same 512-conn point, once. *)
+      check (run_one ?on_metrics (scale_config `Tcp Uls_nic.Match_list.Hashed));
       let cfg = scale_config `Ds Uls_nic.Match_list.Hashed in
       let a = Load.run cfg and b = Load.run cfg in
       check a;
@@ -479,6 +585,7 @@ let serve_cmd =
       let cfg =
         build_config stack workload open_loop ~conns ~requests ~size ~think
           ~seed ~loss ~clients ~backlog ~workers ~max_inflight ~match_engine
+          ~event_sched
       in
       let r = run_one ?on_metrics cfg in
       if json then serve_json cfg r;
@@ -493,7 +600,7 @@ let serve_cmd =
           open- or closed-loop; prints throughput and latency percentiles")
     Term.(const run $ stack $ conns $ requests $ size $ workload $ open_loop
           $ think $ seed $ loss $ clients $ backlog $ workers $ max_inflight
-          $ match_engine_flag $ smoke $ metrics_flag
+          $ match_engine_flag $ sched_flag `Wheel $ smoke $ metrics_flag
           $ Arg.(value & flag & info [ "json" ]
                    ~doc:"Append a JSON record to BENCH_serve.json."))
 
@@ -600,11 +707,13 @@ let fabric_cmd =
   in
   let auto_clients cells conns = max 4 (min 64 (max cells ((conns + 2047) / 2048) * 4)) in
   let build ~stack ~cells ~shards ~conns ~requests ~size ~rate ~think ~clients
-      ~seed ~loss ~max_inflight ~backlog ~vnodes ~kill ~drain ~match_engine =
+      ~seed ~loss ~max_inflight ~backlog ~vnodes ~kill ~drain ~match_engine
+      ~event_sched =
     {
       Fleet.default with
       kind = fabric_kind stack;
       match_engine;
+      event_sched;
       cells;
       shards;
       conns;
@@ -630,7 +739,12 @@ let fabric_cmd =
          ("cells", json_int cfg.Fleet.cells);
          ("shards", json_int cfg.Fleet.shards);
          ("match",
-          json_str (Uls_nic.Match_list.engine_name cfg.Fleet.match_engine));
+          json_str
+            (match cfg.Fleet.kind with
+            | Chaos.Tcp _ -> "n/a" (* kernel path: no NIC tag matching *)
+            | Chaos.Sub _ ->
+              Uls_nic.Match_list.engine_name cfg.Fleet.match_engine));
+         ("sched", json_str (sched_name cfg.Fleet.event_sched));
          ("conns", json_int cfg.Fleet.conns);
          ("requests_per_conn", json_int cfg.Fleet.requests_per_conn);
          ("size", json_int cfg.Fleet.size);
@@ -663,17 +777,18 @@ let fabric_cmd =
        ])
   in
   let run stack cells shards conns requests size rate think clients seed loss
-      max_inflight backlog vnodes kill drain match_engine smoke metrics json =
+      max_inflight backlog vnodes kill drain match_engine event_sched smoke
+      metrics json =
     let on_metrics = if metrics then Some dump_metrics else None in
     if smoke then begin
       (* Pinned-seed CI matrix: cells x stacks, plus one kill-failover
-         run; flags other than --metrics are ignored. *)
+         run; flags other than --metrics and --sched are ignored. *)
       let failures = ref 0 in
       let base stack cells =
         build ~stack ~cells ~shards:2 ~conns:256 ~requests:2 ~size:128
           ~rate:8_000. ~think:0. ~clients:4 ~seed:42 ~loss:0. ~max_inflight:0
           ~backlog:128 ~vnodes:64 ~kill:None ~drain:None
-          ~match_engine:Uls_nic.Match_list.Hashed
+          ~match_engine:Uls_nic.Match_list.Hashed ~event_sched
       in
       let check name ?(allow_failures = false) (r : Fleet.report) =
         let ok =
@@ -734,7 +849,7 @@ let fabric_cmd =
       let cfg =
         build ~stack ~cells ~shards ~conns ~requests ~size ~rate ~think
           ~clients ~seed ~loss ~max_inflight ~backlog ~vnodes ~kill ~drain
-          ~match_engine
+          ~match_engine ~event_sched
       in
       let r = Fleet.run ?on_metrics cfg in
       Fleet.print_report Format.std_formatter cfg r;
@@ -750,7 +865,8 @@ let fabric_cmd =
           fleet, with optional mid-load cell kill or drain")
     Term.(const run $ stack $ cells $ shards $ conns $ requests $ size $ rate
           $ think $ clients $ seed $ loss $ max_inflight $ backlog $ vnodes
-          $ kill $ drain $ match_engine_flag $ smoke $ metrics_flag
+          $ kill $ drain $ match_engine_flag $ sched_flag `Wheel $ smoke
+          $ metrics_flag
           $ Arg.(value & flag & info [ "json" ]
                    ~doc:"Append a JSON record to BENCH_fabric.json."))
 
@@ -923,6 +1039,180 @@ let collective_cmd =
        ~doc:"Collective latency/bandwidth over an EMP group")
     Term.(const run $ op $ alg $ nodes $ size $ iters $ metrics_flag)
 
+(* --- engine ------------------------------------------------------------ *)
+
+let engine_cmd =
+  let open Uls_bench in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Append one JSON record per (scenario, scheduler) run to \
+                 BENCH_engine.json.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"CI gate: heap and wheel must dispatch identical event \
+                 counts per scenario, the wheel must beat the heap by at \
+                 least 2x events/sec on the 65536-conn fabric shape, and \
+                 against the committed baseline every event count must \
+                 match exactly and no per-scenario wheel-vs-heap speedup \
+                 may regress by more than 20%.")
+  in
+  let baseline =
+    Arg.(value & opt string "BENCH_engine.json"
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Committed pinned-seed baseline the --check gate reads.")
+  in
+  let engine_json (r : Engine_bench.row) =
+    emit_json ~file:"BENCH_engine.json"
+      [
+        ("bench", json_str "engine");
+        ("scenario", json_str r.Engine_bench.scenario);
+        ("sched", json_str (sched_name r.Engine_bench.sched));
+        ("conns", json_int r.Engine_bench.conns);
+        ("events", json_int r.Engine_bench.events);
+        ("elapsed_s", json_float r.Engine_bench.elapsed_s);
+        ("events_per_sec", json_float r.Engine_bench.events_per_sec);
+      ]
+  in
+  let run json check baseline_file =
+    let rows = Engine_bench.run_all () in
+    let find sched name =
+      List.find
+        (fun r ->
+          r.Engine_bench.scenario = name && r.Engine_bench.sched = sched)
+        rows
+    in
+    Format.printf "%-14s %8s %10s %10s %14s %9s@." "scenario" "conns"
+      "sched" "events" "events/sec" "speedup";
+    List.iter
+      (fun sh ->
+        let name = sh.Engine_bench.sh_name in
+        let h = find `Heap name and w = find `Wheel name in
+        List.iter
+          (fun (r : Engine_bench.row) ->
+            Format.printf "%-14s %8d %10s %10d %14.0f %9s@."
+              r.Engine_bench.scenario r.Engine_bench.conns
+              (sched_name r.Engine_bench.sched)
+              r.Engine_bench.events r.Engine_bench.events_per_sec
+              (if r.Engine_bench.sched = `Wheel then
+                 Printf.sprintf "%.2fx"
+                   (r.Engine_bench.events_per_sec
+                   /. h.Engine_bench.events_per_sec)
+               else ""))
+          [ h; w ])
+      Engine_bench.shapes;
+    if json then List.iter engine_json rows;
+    if check then begin
+      let failures = ref 0 in
+      let fail fmt =
+        Printf.ksprintf
+          (fun msg ->
+            Printf.eprintf "ulsbench engine --check: %s\n" msg;
+            incr failures)
+          fmt
+      in
+      (* Dispatch parity: the wheel is a drop-in replacement, so both
+         schedulers must execute exactly the same events. *)
+      List.iter
+        (fun sh ->
+          let name = sh.Engine_bench.sh_name in
+          let h = find `Heap name and w = find `Wheel name in
+          if h.Engine_bench.events <> w.Engine_bench.events then
+            fail "%s: heap dispatched %d events, wheel %d" name
+              h.Engine_bench.events w.Engine_bench.events)
+        Engine_bench.shapes;
+      (* The tentpole claim: O(1) queue ops must show at fleet scale. *)
+      let h = find `Heap "fabric-65536" and w = find `Wheel "fabric-65536" in
+      if
+        w.Engine_bench.events_per_sec
+        < 2.0 *. h.Engine_bench.events_per_sec
+      then
+        fail "fabric-65536: wheel %.0f ev/s < 2x heap %.0f ev/s"
+          w.Engine_bench.events_per_sec h.Engine_bench.events_per_sec;
+      (* Baseline gates. Event counts are deterministic, so they must
+         match the committed records exactly; raw events/sec is machine-
+         dependent, so the regression gate runs on the wheel-vs-heap
+         speedup ratio (machine-independent to first order): each
+         scenario's measured ratio must reach 80% of the baseline's. *)
+      let base = read_records baseline_file in
+      let base_field recs key =
+        List.filter_map
+          (fun r ->
+            match
+              ( List.assoc_opt "bench" r,
+                List.assoc_opt "scenario" r,
+                List.assoc_opt "sched" r,
+                List.assoc_opt key r )
+            with
+            | Some "engine", Some sc, Some sd, Some v -> Some ((sc, sd), v)
+            | _ -> None)
+          recs
+      in
+      let last_of assoc k =
+        List.fold_left
+          (fun acc (k', v) -> if k' = k then Some v else acc)
+          None assoc
+      in
+      let base_events = base_field base "events" in
+      let base_eps = base_field base "events_per_sec" in
+      if base_events = [] then
+        Printf.printf
+          "engine --check: no baseline records in %s; skipping baseline \
+           gates\n"
+          baseline_file
+      else
+        List.iter
+          (fun sh ->
+            let name = sh.Engine_bench.sh_name in
+            let h = find `Heap name and w = find `Wheel name in
+            List.iter
+              (fun (r : Engine_bench.row) ->
+                match
+                  last_of base_events (name, sched_name r.Engine_bench.sched)
+                with
+                | Some v when int_of_string v <> r.Engine_bench.events ->
+                  fail "%s/%s: %d events, baseline %s (event structure \
+                        changed — recapture the baseline deliberately)"
+                    name
+                    (sched_name r.Engine_bench.sched)
+                    r.Engine_bench.events v
+                | _ -> ())
+              [ h; w ];
+            match
+              ( last_of base_eps (name, "heap"),
+                last_of base_eps (name, "wheel") )
+            with
+            | Some bh, Some bw ->
+              let bh = float_of_string bh and bw = float_of_string bw in
+              if bh > 0. && h.Engine_bench.events_per_sec > 0. then begin
+                let base_ratio = bw /. bh in
+                let ratio =
+                  w.Engine_bench.events_per_sec
+                  /. h.Engine_bench.events_per_sec
+                in
+                if ratio < 0.8 *. base_ratio then
+                  fail
+                    "%s: wheel/heap speedup %.2fx regressed more than 20%% \
+                     from baseline %.2fx"
+                    name ratio base_ratio
+              end
+            | _ -> ())
+          Engine_bench.shapes;
+      if !failures > 0 then begin
+        Printf.eprintf "ulsbench engine --check: %d failure(s)\n" !failures;
+        exit 1
+      end;
+      print_endline "engine check: ok"
+    end
+  in
+  Cmd.v
+    (Cmd.info "engine"
+       ~doc:
+         "Event-core throughput: events/sec through the simulator on \
+          synthetic timer workloads (pingpong, serve-512, fabric-4096, \
+          fabric-65536), binary heap vs hierarchical timing wheel")
+    Term.(const run $ json $ check $ baseline)
+
 (* --- races ------------------------------------------------------------- *)
 
 let races_cmd =
@@ -959,7 +1249,7 @@ let races_cmd =
         (String.concat ", " (List.map (fun sc -> sc.S.sc_name) S.all));
       exit 124
   in
-  let run seeds smoke scenario replay verbose =
+  let run seeds smoke scenario replay verbose sched =
     match replay with
     | Some seed ->
       let name =
@@ -969,7 +1259,7 @@ let races_cmd =
           prerr_endline "ulsbench races: --replay requires --scenario";
           exit 124
       in
-      let o = A.replay (find_or_die name) ~seed in
+      let o = A.replay ~sched (find_or_die name) ~seed in
       print_endline (Uls_analysis.Fingerprint.to_string o.S.fingerprint);
       List.iter
         (fun v -> print_endline (Uls_engine.Invariant.string_of_violation v))
@@ -988,8 +1278,9 @@ let races_cmd =
       List.iter
         (fun sc ->
           let v =
-            if smoke && sc.S.sc_buggy then A.run_until_flagged ~max_seeds:seeds sc
-            else A.run_scenario ~seeds sc
+            if smoke && sc.S.sc_buggy then
+              A.run_until_flagged ~max_seeds:seeds ~sched sc
+            else A.run_scenario ~seeds ~sched sc
           in
           print_endline (A.render ~verbose v);
           let ok = if sc.S.sc_buggy then A.flagged v else A.clean v in
@@ -1007,7 +1298,8 @@ let races_cmd =
   Cmd.v
     (Cmd.info "races"
        ~doc:"Schedule-perturbation race detection over the invariant suite")
-    Term.(const run $ seeds $ smoke $ scenario $ replay $ verbose)
+    Term.(const run $ seeds $ smoke $ scenario $ replay $ verbose
+          $ sched_flag `Heap)
 
 let () =
   let doc = "Sockets-over-EMP reproduction benchmarks (simulated testbed)" in
@@ -1021,6 +1313,7 @@ let () =
             bandwidth_cmd;
             collective_cmd;
             chaos_cmd;
+            engine_cmd;
             serve_cmd;
             fabric_cmd;
             trace_cmd;

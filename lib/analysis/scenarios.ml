@@ -28,7 +28,7 @@ type t = {
   sc_name : string;
   sc_descr : string;
   sc_buggy : bool;
-  sc_run : tiebreak -> outcome;
+  sc_run : ?sched:[ `Heap | `Wheel ] -> tiebreak -> outcome;
 }
 
 (* Observables accumulate from concurrently finishing fibers, so their
@@ -51,8 +51,8 @@ let finish cluster ~conns ~observables stop =
     stop;
   }
 
-let start ?(n = 2) ?match_engine tiebreak =
-  let cluster = Cluster.create ?match_engine ~tiebreak ~n () in
+let start ?(n = 2) ?match_engine ?sched tiebreak =
+  let cluster = Cluster.create ?match_engine ?sched ~tiebreak ~n () in
   Invariant.enable (Invariant.for_sim (Cluster.sim cluster));
   cluster
 
@@ -77,8 +77,8 @@ let hex s = Digest.to_hex (Digest.string s)
 
 (* --- eager-echo: streaming mode, two clients echoed by one server --- *)
 
-let eager_echo ?match_engine tiebreak =
-  let cluster = start ~n:3 ?match_engine tiebreak in
+let eager_echo ?match_engine ?sched tiebreak =
+  let cluster = start ~n:3 ?match_engine ?sched tiebreak in
   let sim = Cluster.sim cluster in
   let conns = ref [] and obs = ref [] in
   let server = Cluster.substrate cluster 0 in
@@ -122,8 +122,8 @@ let eager_echo ?match_engine tiebreak =
    substrate's request/grant path from two clients at once (the surface
    of the shared-grant-queue bug this suite's fixture re-introduces) --- *)
 
-let dg_rendezvous tiebreak =
-  let cluster = start ~n:3 tiebreak in
+let dg_rendezvous ?sched tiebreak =
+  let cluster = start ~n:3 ?sched tiebreak in
   let sim = Cluster.sim cluster in
   let conns = ref [] and obs = ref [] in
   let opts = Opt.datagram in
@@ -164,8 +164,8 @@ let dg_rendezvous tiebreak =
 (* --- connect-churn: connection setup/teardown cycles reclaim every
    descriptor (the 2N+3 provisioning of §5.3 against the leak scans) --- *)
 
-let connect_churn tiebreak =
-  let cluster = start ~n:2 tiebreak in
+let connect_churn ?sched tiebreak =
+  let cluster = start ~n:2 ?sched tiebreak in
   let sim = Cluster.sim cluster in
   let conns = ref [] and obs = ref [] in
   let server = Cluster.substrate cluster 0 in
@@ -208,8 +208,8 @@ let connect_churn tiebreak =
    grant arrival order and the pairing crosses — caught both by the
    [scenario.grant_routing] invariant and by fingerprint divergence. *)
 
-let grant_fixture ~routed tiebreak =
-  let cluster = start ~n:2 tiebreak in
+let grant_fixture ~routed ?sched tiebreak =
+  let cluster = start ~n:2 ?sched tiebreak in
   let sim = Cluster.sim cluster in
   let inv = Invariant.for_sim sim in
   let e0 = Cluster.emp cluster 0 in
@@ -301,7 +301,7 @@ let grant_fixture ~routed tiebreak =
    sanitizer/invariant channels are empty here; divergence of the
    observables across tie-breaks is the signal. *)
 
-let fabric_churn tiebreak =
+let fabric_churn ?(sched = `Heap) tiebreak =
   let r =
     Uls_bench.Fleet.run
       {
@@ -314,6 +314,7 @@ let fabric_churn tiebreak =
         client_nodes = 2;
         seed = 11;
         tiebreak = Some tiebreak;
+        event_sched = sched;
       }
   in
   let open Uls_bench.Fleet in

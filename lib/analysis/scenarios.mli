@@ -25,7 +25,10 @@ type t = {
   sc_buggy : bool;
       (** fixtures the detector must flag (CI fails if it stops catching
           them) *)
-  sc_run : tiebreak -> outcome;
+  sc_run : ?sched:[ `Heap | `Wheel ] -> tiebreak -> outcome;
+      (** [sched] selects the simulator event-queue implementation
+          (default binary heap); dispatch order is identical either
+          way, so fingerprints must not depend on it *)
 }
 
 val clean_suite : t list

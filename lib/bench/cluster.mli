@@ -7,6 +7,7 @@ val create :
   ?model:Uls_host.Cost_model.t ->
   ?tiebreak:[ `Fifo | `Seeded_shuffle of int ] ->
   ?match_engine:Uls_nic.Match_list.engine ->
+  ?sched:[ `Heap | `Wheel ] ->
   n:int ->
   unit ->
   t
@@ -15,7 +16,9 @@ val create :
     {!Uls_engine.Sim.set_tiebreak}) before any task is scheduled — the
     race detector's schedule-perturbation hook. Default FIFO.
     [match_engine] selects the NIC tag-match firmware on every node
-    (default [Linear], the paper's measured generation). *)
+    (default [Linear], the paper's measured generation). [sched] selects
+    the event-queue implementation ({!Uls_engine.Sim.create}); dispatch
+    order is identical either way, only queue cost differs. *)
 
 val sim : t -> Uls_engine.Sim.t
 val model : t -> Uls_host.Cost_model.t

@@ -1,0 +1,91 @@
+(* Event-core throughput shapes. See the .mli for what each models. *)
+
+open Uls_engine
+
+type sched = [ `Heap | `Wheel ]
+
+type shape = {
+  sh_name : string;
+  sh_conns : int;
+  sh_cycles : int;
+  sh_timeout : Time.ns;
+  sh_far : bool;
+}
+
+(* Cycle counts are sized so every run executes a few hundred thousand
+   to a million events — long enough that Sys.time's resolution is
+   noise, short enough that the whole matrix runs in seconds. *)
+let shapes =
+  [
+    { sh_name = "pingpong"; sh_conns = 1; sh_cycles = 200_000;
+      sh_timeout = Time.us 100; sh_far = false };
+    { sh_name = "serve-512"; sh_conns = 512; sh_cycles = 400;
+      sh_timeout = Time.ms 50; sh_far = false };
+    { sh_name = "fabric-4096"; sh_conns = 4_096; sh_cycles = 64;
+      sh_timeout = Time.ms 50; sh_far = true };
+    { sh_name = "fabric-65536"; sh_conns = 65_536; sh_cycles = 8;
+      sh_timeout = Time.ms 50; sh_far = true };
+  ]
+
+let find_shape name = List.find_opt (fun s -> s.sh_name = name) shapes
+
+type row = {
+  scenario : string;
+  conns : int;
+  sched : sched;
+  events : int;
+  elapsed_s : float;
+  events_per_sec : float;
+}
+
+let sched_name = function `Heap -> "heap" | `Wheel -> "wheel"
+
+(* Per-connection request loop, callbacks only (no fibers, so the
+   measurement is queue cost plus dispatch, nothing else). Each cycle
+   dispatches one activity event, arms one stale retransmission timer
+   (fires as a no-op [sh_timeout] later — the cancelled-timer pattern
+   every stack generates), and schedules the next cycle one jittered
+   period ahead. All connections run concurrently, so the standing
+   population peaks near conns x cycles stale timers. *)
+let install sim sh =
+  let nop () = () in
+  for i = 0 to sh.sh_conns - 1 do
+    (* deterministic per-conn jitter decorrelates same-slot bursts *)
+    let period = Time.us 20 + ((i * 37) land 0xfff) in
+    let rec cycle k t =
+      Sim.at sim t (fun () ->
+          Sim.at sim (t + sh.sh_timeout) nop;
+          if k + 1 < sh.sh_cycles then cycle (k + 1) (t + period))
+    in
+    cycle 0 (Time.us 1 + i);
+    if sh.sh_far then begin
+      (* idle-close horizon: seconds out, top wheel levels *)
+      Sim.at sim (Time.s 2 + (i * 977)) nop;
+      (* sparse lease timers past the wheel's top range: overflow heap *)
+      if i land 1023 = 0 then Sim.at sim ((1 lsl 41) + i) nop
+    end
+  done
+
+let run_shape ~sched sh =
+  let sim = Sim.create ~sched () in
+  install sim sh;
+  let t0 = Sys.time () in
+  (match Sim.run sim with
+  | `Quiescent -> ()
+  | `Time_limit | `Stopped -> failwith "Engine_bench: run did not quiesce");
+  let elapsed = Sys.time () -. t0 in
+  let events = Sim.events_executed sim in
+  {
+    scenario = sh.sh_name;
+    conns = sh.sh_conns;
+    sched;
+    events;
+    elapsed_s = elapsed;
+    events_per_sec =
+      (if elapsed > 0. then float_of_int events /. elapsed else 0.);
+  }
+
+let run_all () =
+  List.concat_map
+    (fun sh -> [ run_shape ~sched:`Heap sh; run_shape ~sched:`Wheel sh ])
+    shapes

@@ -31,6 +31,7 @@ type config = {
   tiebreak : [ `Fifo | `Seeded_shuffle of int ] option;
   time_limit : Time.ns option;
   match_engine : Uls_nic.Match_list.engine;
+  event_sched : [ `Heap | `Wheel ];
 }
 
 let default =
@@ -61,6 +62,7 @@ let default =
     tiebreak = None;
     time_limit = None;
     match_engine = Uls_nic.Match_list.Hashed;
+    event_sched = `Heap;
   }
 
 type cell_report = {
@@ -130,8 +132,11 @@ let run ?on_metrics (cfg : config) =
   let c =
     match cfg.tiebreak with
     | Some tiebreak ->
-      Cluster.create ~tiebreak ~match_engine:cfg.match_engine ~n:n_nodes ()
-    | None -> Cluster.create ~match_engine:cfg.match_engine ~n:n_nodes ()
+      Cluster.create ~tiebreak ~match_engine:cfg.match_engine
+        ~sched:cfg.event_sched ~n:n_nodes ()
+    | None ->
+      Cluster.create ~match_engine:cfg.match_engine ~sched:cfg.event_sched
+        ~n:n_nodes ()
   in
   let sim = Cluster.sim c in
   let api =

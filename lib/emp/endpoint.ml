@@ -92,11 +92,27 @@ type desc_stats = {
   descs_live : int;  (* still on the match list *)
 }
 
+(* Metric handles resolved once at create: the hot path bumps a counter
+   cell directly instead of paying a name→key hash lookup (and a boxed
+   key allocation) per event. *)
+type handles = {
+  h_frames_sent : Stats.Counter.t;
+  h_send_failures : Stats.Counter.t;
+  h_frames_retransmitted : Stats.Counter.t;
+  h_messages_sent : Stats.Counter.t;
+  h_uq_hits : Stats.Counter.t;
+  h_match_walk_descs : Stats.Summary.t;
+  h_messages_received : Stats.Counter.t;
+  h_drops_no_descriptor : Stats.Counter.t;
+  h_nacks_sent : Stats.Counter.t;
+}
+
 type t = {
   node : Node.t;
   nic : Tigon.t;
   cfg : config;
   metrics : Metrics.t;
+  mh : handles;
   trace : Trace.t;
   inv : Invariant.t;
   mutable next_msg_id : int;
@@ -184,12 +200,12 @@ let send_frame t st idx =
   in
   Tigon.transmit t.nic (Wire.data_frame ~src:(node_id t) ~dst:st.s_dst data);
   t.st_frames_sent <- t.st_frames_sent + 1;
-  Metrics.incr t.metrics ~node:(node_id t) "emp.frames_sent"
+  Stats.Counter.incr t.mh.h_frames_sent
 
 let fail_send t st =
   st.s_failed <- true;
   Hashtbl.remove t.active_tx st.s_key;
-  Metrics.incr t.metrics ~node:(node_id t) "emp.send_failures";
+  Stats.Counter.incr t.mh.h_send_failures;
   Trace.span_end t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.send"
     ~args:[ ("outcome", "failed") ]
     st.s_span;
@@ -212,8 +228,7 @@ let tx_fiber t st () =
     st.s_retries <- st.s_retries + 1;
     if not (give_up ()) then begin
       t.st_retrans <- t.st_retrans + (st.s_next - st.s_acked);
-      Metrics.add t.metrics ~node:(node_id t) "emp.frames_retransmitted"
-        (st.s_next - st.s_acked);
+      Stats.Counter.add t.mh.h_frames_retransmitted (st.s_next - st.s_acked);
       Trace.instant t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.rto_rewind"
         ~args:[ ("frames", string_of_int (st.s_next - st.s_acked)) ];
       st.s_next <- st.s_acked;
@@ -281,7 +296,7 @@ let post_send t ~dst ~tag region ~off ~len =
   in
   Hashtbl.replace t.active_tx st.s_key st;
   t.st_msgs_sent <- t.st_msgs_sent + 1;
-  Metrics.incr t.metrics ~node:(node_id t) "emp.messages_sent";
+  Stats.Counter.incr t.mh.h_messages_sent;
   Sim.spawn (sim t) ~name:"emp-tx" (tx_fiber t st);
   st
 
@@ -348,7 +363,7 @@ let complete_recv t r ~len ~src ~tag =
    for UQ traffic), then free the slot. *)
 let consume_uq t slot r =
   t.st_uq_hits <- t.st_uq_hits + 1;
-  Metrics.incr t.metrics ~node:(node_id t) "emp.uq_hits";
+  Stats.Counter.incr t.mh.h_uq_hits;
   Trace.instant t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.uq_consume";
   let len = min slot.u_len r.r_cap in
   r.r_matched <- true;
@@ -518,8 +533,7 @@ let free_uq_slot_for t ~total_len =
    canonical nic.match_* series (every match, both engines). *)
 let observe_match t (probe : Match_list.probe) =
   t.st_walked <- t.st_walked + probe.walked;
-  Metrics.observe t.metrics ~node:(node_id t) "emp.match_walk_descs"
-    (float_of_int probe.walked);
+  Stats.Summary.add t.mh.h_match_walk_descs (float_of_int probe.walked);
   Tigon.observe_match t.nic probe
 
 let charge_match t ~queue (probe : Match_list.probe) =
@@ -574,7 +588,7 @@ let finish_record t key record =
   Hashtbl.remove t.active_rx key;
   Hashtbl.replace t.finished_rx key record.rec_nframes;
   t.st_msgs_recv <- t.st_msgs_recv + 1;
-  Metrics.incr t.metrics ~node:(node_id t) "emp.messages_received";
+  Stats.Counter.incr t.mh.h_messages_received;
   Trace.instant t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.msg_complete"
     ~seq:key.Wire.msg_id
     ~args:[ ("len", string_of_int record.rec_total) ];
@@ -620,7 +634,7 @@ let rx_data t ~queue (d : Wire.data) =
         match match_new_message t ~queue d with
         | None ->
           t.st_drops <- t.st_drops + 1;
-          Metrics.incr t.metrics ~node:(node_id t) "emp.drops_no_descriptor";
+          Stats.Counter.incr t.mh.h_drops_no_descriptor;
           Trace.instant t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.drop";
           None
         | Some dst ->
@@ -677,7 +691,7 @@ let rx_data t ~queue (d : Wire.data) =
       then begin
         record.rec_nacked <- true;
         t.st_nacks <- t.st_nacks + 1;
-        Metrics.incr t.metrics ~node:(node_id t) "emp.nacks_sent";
+        Stats.Counter.incr t.mh.h_nacks_sent;
         Trace.instant t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.nack"
           ~args:[ ("missing", string_of_int record.rec_prefix) ];
         Tigon.rx_work ~queue t.nic m.Cost_model.nic_ack_gen;
@@ -757,12 +771,28 @@ let reset t =
 
 let create ?(config = default_config) node nic =
   let sim = Node.sim node in
+  let metrics = Metrics.for_sim sim in
+  let node_id = Node.id node in
+  let counter name = Metrics.counter metrics ~node:node_id name in
   let t =
     {
       node;
       nic;
       cfg = config;
-      metrics = Metrics.for_sim sim;
+      metrics;
+      mh =
+        {
+          h_frames_sent = counter "emp.frames_sent";
+          h_send_failures = counter "emp.send_failures";
+          h_frames_retransmitted = counter "emp.frames_retransmitted";
+          h_messages_sent = counter "emp.messages_sent";
+          h_uq_hits = counter "emp.uq_hits";
+          h_match_walk_descs =
+            Metrics.histogram metrics ~node:node_id "emp.match_walk_descs";
+          h_messages_received = counter "emp.messages_received";
+          h_drops_no_descriptor = counter "emp.drops_no_descriptor";
+          h_nacks_sent = counter "emp.nacks_sent";
+        };
       trace = Trace.for_sim sim;
       inv = Invariant.for_sim sim;
       next_msg_id = 0;

@@ -62,6 +62,9 @@ type t = {
   links : (string, link_state) Hashtbl.t;
   pauses : (int, (Time.ns * Time.ns) list) Hashtbl.t;
   tally : (string, int) Hashtbl.t;
+  fault_counters : (string, Stats.Counter.t) Hashtbl.t;
+      (* key -> handle, memoised so injection skips the registry's name
+         lookup *)
   mutable default_plan : plan;
   mutable injected : int;
   mutable active : bool;
@@ -76,6 +79,7 @@ let create ?(seed = 0) sim =
     links = Hashtbl.create 16;
     pauses = Hashtbl.create 4;
     tally = Hashtbl.create 8;
+    fault_counters = Hashtbl.create 8;
     default_plan = clean;
     injected = 0;
     active = false;
@@ -157,7 +161,15 @@ let record t ~link verdict =
     Hashtbl.replace t.tally key
       (1 + Option.value ~default:0 (Hashtbl.find_opt t.tally key));
     t.injected <- t.injected + 1;
-    Metrics.incr t.metrics ("fault." ^ key);
+    let c =
+      match Hashtbl.find_opt t.fault_counters key with
+      | Some c -> c
+      | None ->
+        let c = Metrics.counter t.metrics ("fault." ^ key) in
+        Hashtbl.add t.fault_counters key c;
+        c
+    in
+    Stats.Counter.incr c;
     Trace.instant t.trace ~layer:Trace.Net ("fault." ^ decision_kind verdict)
       ~args:[ ("link", link) ];
     verdict

@@ -27,7 +27,11 @@ val create : Sim.t -> t
 (** A fresh, private monitor (mostly for tests). *)
 
 val for_sim : Sim.t -> t
-(** The simulation's shared monitor, created on first use. *)
+(** The simulation's shared monitor, created on first use. Held in an
+    ephemeron table: when the sim is collected, its monitor goes too. *)
+
+val registered_sims : unit -> int
+(** Number of live sims with a monitor (dead entries swept first). *)
 
 val enable : ?strict:bool -> t -> unit
 (** Turn monitoring on. With [strict], the first violation raises

@@ -13,7 +13,12 @@ val create : unit -> t
 (** A fresh, private registry (mostly for tests). *)
 
 val for_sim : Sim.t -> t
-(** The simulation's shared registry, created on first use. *)
+(** The simulation's shared registry, created on first use. Held in an
+    ephemeron table: when the sim is collected, its registry goes too. *)
+
+val registered_sims : unit -> int
+(** Number of live sims with a registry (dead entries swept first) —
+    lets tests assert the registry does not leak across sims. *)
 
 (** {2 Counters} *)
 

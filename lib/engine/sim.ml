@@ -1,9 +1,20 @@
+(* Task cells are mutable and pooled: dispatch recycles the cell onto an
+   intrusive free list (and drops the closure) instead of garbage for
+   every event. [dummy_task] is the free-list terminator and the filler
+   value for the wheel's internal arrays. *)
 type task = {
-  time : Time.ns;
-  pri : int;  (* tie-break priority among same-timestamp tasks *)
-  seq : int;
-  run : unit -> unit;
+  mutable time : Time.ns;
+  mutable pri : int;  (* tie-break priority among same-timestamp tasks *)
+  mutable seq : int;
+  mutable run : unit -> unit;
+  mutable free_next : task;
 }
+
+let nop () = ()
+
+let rec dummy_task =
+  { time = max_int; pri = max_int; seq = max_int; run = nop;
+    free_next = dummy_task }
 
 (* Same-timestamp dispatch order. FIFO gives every task the same
    priority, so the [seq] fallback reproduces strict scheduling order;
@@ -28,9 +39,17 @@ type parked = {
   daemon : bool;
 }
 
+(* Event queue: binary comparison heap (the original structure) or the
+   hierarchical timing wheel. Both dispatch in identical
+   (time, pri, seq) order — the wheel's near-future heap uses the same
+   comparator — so the choice is a pure throughput ablation. *)
+type queue =
+  | Q_heap of task Heap.t
+  | Q_wheel of task Wheel.t
+
 type t = {
   uid : int;  (* process-unique: lets side tables key off a simulation *)
-  heap : task Heap.t;
+  q : queue;
   mutable now : Time.ns;
   mutable seq : int;
   mutable live : int;
@@ -41,6 +60,8 @@ type t = {
   mutable cur_fiber : string;
   parked : (int, park) Hashtbl.t;
   mutable next_park : int;
+  mutable free : task;  (* head of the recycled task-cell list *)
+  mutable pooled : int;
 }
 
 exception Fiber_failure of string * exn
@@ -54,11 +75,17 @@ let compare_task a b =
 
 let next_uid = ref 0
 
-let create () =
+let create ?(sched = `Heap) () =
   incr next_uid;
   {
     uid = !next_uid;
-    heap = Heap.create ~cmp:compare_task;
+    q =
+      (match sched with
+      | `Heap -> Q_heap (Heap.create ~cmp:compare_task)
+      | `Wheel ->
+        Q_wheel
+          (Wheel.create ~dummy:dummy_task ~time:(fun tk -> tk.time)
+             ~cmp:compare_task ()));
     now = 0;
     seq = 0;
     live = 0;
@@ -69,6 +96,8 @@ let create () =
     cur_fiber = "main";
     parked = Hashtbl.create 16;
     next_park = 0;
+    free = dummy_task;
+    pooled = 0;
   }
 
 let uid t = t.uid
@@ -78,6 +107,7 @@ let live_fibers t = t.live
 let events_executed t = t.executed
 let stop t = t.stopped <- true
 let current_fiber t = t.cur_fiber
+let sched t = match t.q with Q_heap _ -> `Heap | Q_wheel _ -> `Wheel
 
 let set_tiebreak t = function
   | `Fifo -> t.tiebreak <- Fifo
@@ -97,13 +127,43 @@ let blocked_report t =
            let c = compare a.fiber b.fiber in
            if c <> 0 then c else compare a.label b.label)
 
+(* Pool cap: beyond this, freed cells go to the GC instead — bounds the
+   retained memory of a sim that briefly spiked its outstanding-event
+   count. *)
+let pool_max = 4096
+
+let alloc_task t ~time ~pri ~seq ~run =
+  let cell = t.free in
+  if cell == dummy_task then { time; pri; seq; run; free_next = dummy_task }
+  else begin
+    t.free <- cell.free_next;
+    t.pooled <- t.pooled - 1;
+    cell.free_next <- dummy_task;
+    cell.time <- time;
+    cell.pri <- pri;
+    cell.seq <- seq;
+    cell.run <- run;
+    cell
+  end
+
+let release_task t cell =
+  cell.run <- nop;  (* drop the closure and everything it captured *)
+  if t.pooled < pool_max then begin
+    cell.free_next <- t.free;
+    t.free <- cell;
+    t.pooled <- t.pooled + 1
+  end
+
 let schedule t ~time run =
   if time < t.now then invalid_arg "Sim: scheduling in the past";
   t.seq <- t.seq + 1;
   let pri =
     match t.tiebreak with Fifo -> 0 | Shuffle rng -> Rng.int rng 0x4000_0000
   in
-  Heap.push t.heap { time; pri; seq = t.seq; run }
+  let cell = alloc_task t ~time ~pri ~seq:t.seq ~run in
+  match t.q with
+  | Q_heap h -> Heap.push h cell
+  | Q_wheel w -> Wheel.push w cell
 
 let at t time run = schedule t ~time run
 
@@ -190,6 +250,9 @@ let spawn_at t ?(name = "fiber") ?(daemon = false) time f =
 
 let spawn t ?name ?daemon f = spawn_at t ?name ?daemon t.now f
 
+let q_peek t = match t.q with Q_heap h -> Heap.peek h | Q_wheel w -> Wheel.peek w
+let q_pop t = match t.q with Q_heap h -> Heap.pop h | Q_wheel w -> Wheel.pop w
+
 let run ?until t =
   t.stopped <- false;
   let result = ref `Quiescent in
@@ -200,7 +263,7 @@ let run ?until t =
       running := false
     end
     else
-      match Heap.peek t.heap with
+      match q_peek t with
       | None ->
         result := `Quiescent;
         running := false
@@ -211,9 +274,14 @@ let run ?until t =
           result := `Time_limit;
           running := false
         | _ ->
-          ignore (Heap.pop t.heap);
+          ignore (q_pop t);
           t.now <- task.time;
           t.executed <- t.executed + 1;
-          task.run ())
+          (* Recycle the cell before running: the closure is extracted
+             first, so even a raising task doesn't leak its cell, and
+             tasks the closure schedules can safely reuse it. *)
+          let f = task.run in
+          release_task t task;
+          f ())
   done;
   !result

@@ -16,7 +16,17 @@ exception Fiber_failure of string * exn
 (** Raised out of {!run} when a fiber dies with an uncaught exception.
     Carries the fiber's name and the original exception. *)
 
-val create : unit -> t
+val create : ?sched:[ `Heap | `Wheel ] -> unit -> t
+(** [create ()] uses the binary comparison heap (the original event
+    queue). [~sched:`Wheel] selects the hierarchical timing wheel
+    ({!Wheel}): O(1) amortized insert/extract regardless of pending-event
+    count, with dispatch order {e byte-identical} to the heap — the
+    (time, pri, seq) tie-break contract holds on both, so FIFO runs,
+    seeded shuffles, and determinism fingerprints are scheduler-
+    independent. *)
+
+val sched : t -> [ `Heap | `Wheel ]
+(** Which event queue this sim was created with. *)
 
 val uid : t -> int
 (** Process-unique identifier of this simulation instance, usable as a

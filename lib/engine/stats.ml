@@ -9,38 +9,73 @@ module Counter = struct
 end
 
 module Summary = struct
+  (* Bounded reservoir: the first [cap] samples are kept exactly (so
+     percentiles on experiment-sized runs are unchanged); beyond that,
+     Algorithm R replaces a uniformly drawn slot, keeping a uniform
+     subsample of everything observed while count/sum/min/max/stddev
+     stay exact via running accumulators (Welford for the variance).
+     The replacement PRNG is seeded per-summary with a fixed constant,
+     so identical observation streams yield identical reservoirs —
+     determinism double-runs stay byte-identical. *)
+  let cap = 8192
+  let reservoir_seed = 0x52455356 (* "RESV" *)
+
   type t = {
     samples : float Vec.t;
     mutable sorted : bool;
+    mutable n : int;  (* total observed, not reservoir size *)
+    mutable total : float;
+    mutable mn : float;
+    mutable mx : float;
+    mutable welford_mean : float;
+    mutable m2 : float;
+    mutable rng : Rng.t;
   }
 
-  let create () = { samples = Vec.create (); sorted = true }
+  let create () =
+    {
+      samples = Vec.create ();
+      sorted = true;
+      n = 0;
+      total = 0.;
+      mn = infinity;
+      mx = neg_infinity;
+      welford_mean = 0.;
+      m2 = 0.;
+      rng = Rng.create ~seed:reservoir_seed;
+    }
 
   let add t x =
-    Vec.push t.samples x;
-    t.sorted <- false
-
-  let count t = Vec.length t.samples
-  let sum t = Vec.fold ( +. ) 0. t.samples
-
-  let mean t =
-    let n = count t in
-    if n = 0 then 0. else sum t /. float_of_int n
-
-  let min t = Vec.fold Float.min infinity t.samples
-  let max t = Vec.fold Float.max neg_infinity t.samples
-
-  let stddev t =
-    let n = count t in
-    if n < 2 then 0.
+    t.n <- t.n + 1;
+    t.total <- t.total +. x;
+    if x < t.mn then t.mn <- x;
+    if x > t.mx then t.mx <- x;
+    let d = x -. t.welford_mean in
+    t.welford_mean <- t.welford_mean +. (d /. float_of_int t.n);
+    t.m2 <- t.m2 +. (d *. (x -. t.welford_mean));
+    if Vec.length t.samples < cap then begin
+      Vec.push t.samples x;
+      t.sorted <- false
+    end
     else begin
-      let m = mean t in
-      let ss = Vec.fold (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. t.samples in
-      sqrt (ss /. float_of_int (n - 1))
+      let j = Rng.int t.rng t.n in
+      if j < cap then begin
+        Vec.set t.samples j x;
+        t.sorted <- false
+      end
     end
 
+  let count t = t.n
+  let sum t = t.total
+  let mean t = if t.n = 0 then 0. else t.total /. float_of_int t.n
+  let min t = t.mn
+  let max t = t.mx
+
+  let stddev t =
+    if t.n < 2 then 0. else sqrt (t.m2 /. float_of_int (t.n - 1))
+
   let percentile t p =
-    let n = count t in
+    let n = Vec.length t.samples in
     if n = 0 then 0.
     else begin
       if not t.sorted then begin
@@ -54,7 +89,14 @@ module Summary = struct
 
   let clear t =
     Vec.clear t.samples;
-    t.sorted <- true
+    t.sorted <- true;
+    t.n <- 0;
+    t.total <- 0.;
+    t.mn <- infinity;
+    t.mx <- neg_infinity;
+    t.welford_mean <- 0.;
+    t.m2 <- 0.;
+    t.rng <- Rng.create ~seed:reservoir_seed
 end
 
 module Series = struct

@@ -33,7 +33,11 @@ val create : Sim.t -> t
 
 val for_sim : Sim.t -> t
 (** The simulation's shared trace, created on first use. All stack
-    instrumentation records here. *)
+    instrumentation records here. Held in an ephemeron table: when the
+    sim is collected, its trace goes too. *)
+
+val registered_sims : unit -> int
+(** Number of live sims with a trace (dead entries swept first). *)
 
 val enable : t -> unit
 val disable : t -> unit

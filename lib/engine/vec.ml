@@ -29,8 +29,12 @@ let pop v =
   if v.len = 0 then invalid_arg "Vec.pop: empty";
   v.len <- v.len - 1;
   let x = v.data.(v.len) in
-  (* Overwrite the vacated slot to avoid retaining [x]. *)
-  v.data.(v.len) <- v.data.(if v.len = 0 then 0 else v.len - 1);
+  (* Overwrite the vacated slot to avoid retaining [x]. When the pop
+     empties the vector there is no live element to copy from — any
+     overwrite would be [x] itself (which used to pin every drained
+     heap's last task forever), so drop the whole backing array. *)
+  if v.len = 0 then v.data <- [||]
+  else v.data.(v.len) <- v.data.(v.len - 1);
   x
 
 let clear v =

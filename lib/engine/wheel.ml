@@ -1,0 +1,347 @@
+(* Hierarchical timing wheel (hashed calendar queue) with a near-future
+   heap, an exact-order contract, and an overflow heap for far-future
+   timers.
+
+   Layout: [levels] wheels of [W = 256] slots each. A level-[l] slot
+   spans [grain << (slot_bits * l)] ns, so the whole level-[l] wheel
+   spans exactly one level-[l+1] slot. Elements land in the lowest
+   level whose wheel still covers their delta from [base] (the start of
+   the level-0 cursor slot); anything beyond the top level's range goes
+   to the [ovf] heap and migrates down when the cursor approaches.
+
+   Exactness: everything with [time < base + grain] lives in [cur], a
+   binary heap ordered by the caller's full comparator, so extraction
+   order is *identical* to a plain comparison heap — the wheel only
+   replaces where far-out elements wait, not how due elements are
+   ordered. Advancing works slot-batch at a time: the next occupied
+   level-0 slot is dumped into [cur] wholesale; occupied higher-level
+   slots cascade down when the cursor enters them. Insertions are O(1)
+   (an array append), extraction is O(log batch) on a batch that is one
+   grain wide, and cursor movement amortizes to O(1) per element.
+
+   Ordering safety of the near-future heap: [base] only moves forward,
+   and any later insertion with [time < base + grain] is routed into
+   [cur] where the comparator orders it exactly — so peeking ahead
+   (which advances [base]) can never misorder a subsequent insert, even
+   one earlier than the peeked element. *)
+
+let slot_bits = 8
+let wsize = 1 lsl slot_bits
+let wmask = wsize - 1
+let levels = 4
+
+(* Dummy-backed resizable bag: a slot's elements, appended on insert,
+   dumped and reset (with the dummy overwriting the tail, so nothing
+   popped is retained) when the cursor reaches the slot. *)
+type 'a bag = {
+  mutable ba : 'a array;
+  mutable bn : int;
+}
+
+(* Dummy-backed binary min-heap over the caller's comparator. *)
+type 'a heap = {
+  mutable ha : 'a array;
+  mutable hn : int;
+}
+
+type 'a t = {
+  time : 'a -> int;
+  cmp : 'a -> 'a -> int;
+  dummy : 'a;
+  grain_bits : int;
+  slots : 'a bag array array;  (* [levels][wsize] *)
+  counts : int array;  (* elements resident per level *)
+  mutable base : int;  (* start of the level-0 cursor slot; grain-aligned *)
+  cur : 'a heap;
+  ovf : 'a heap;
+  mutable len : int;
+}
+
+let create ?(grain_bits = 8) ~dummy ~time ~cmp () =
+  if grain_bits < 0 || grain_bits + (slot_bits * levels) >= Sys.int_size - 1
+  then invalid_arg "Wheel.create: grain_bits out of range";
+  {
+    time;
+    cmp;
+    dummy;
+    grain_bits;
+    slots =
+      Array.init levels (fun _ ->
+          Array.init wsize (fun _ -> { ba = [||]; bn = 0 }));
+    counts = Array.make levels 0;
+    base = 0;
+    cur = { ha = [||]; hn = 0 };
+    ovf = { ha = [||]; hn = 0 };
+    len = 0;
+  }
+
+let length w = w.len
+let is_empty w = w.len = 0
+
+(* level-l slot width and the absolute slot index of time [t] *)
+let shift w l = w.grain_bits + (slot_bits * l)
+let grain w = 1 lsl w.grain_bits
+
+(* --- heap ops ----------------------------------------------------------- *)
+
+let heap_push w (h : 'a heap) x =
+  if h.hn = Array.length h.ha then begin
+    let cap = if h.hn = 0 then 16 else 2 * h.hn in
+    let a = Array.make cap w.dummy in
+    Array.blit h.ha 0 a 0 h.hn;
+    h.ha <- a
+  end;
+  h.ha.(h.hn) <- x;
+  h.hn <- h.hn + 1;
+  (* sift up *)
+  let i = ref (h.hn - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if w.cmp h.ha.(!i) h.ha.(p) < 0 then begin
+      let tmp = h.ha.(!i) in
+      h.ha.(!i) <- h.ha.(p);
+      h.ha.(p) <- tmp;
+      i := p
+    end
+    else continue := false
+  done
+
+let heap_pop w (h : 'a heap) =
+  let top = h.ha.(0) in
+  h.hn <- h.hn - 1;
+  h.ha.(0) <- h.ha.(h.hn);
+  h.ha.(h.hn) <- w.dummy;
+  (* sift down *)
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let s = ref !i in
+    if l < h.hn && w.cmp h.ha.(l) h.ha.(!s) < 0 then s := l;
+    if r < h.hn && w.cmp h.ha.(r) h.ha.(!s) < 0 then s := r;
+    if !s <> !i then begin
+      let tmp = h.ha.(!i) in
+      h.ha.(!i) <- h.ha.(!s);
+      h.ha.(!s) <- tmp;
+      i := !s
+    end
+    else continue := false
+  done;
+  top
+
+(* --- placement ---------------------------------------------------------- *)
+
+(* Place [x] into the structure appropriate for its delta from [base].
+   Shared by push and cascade; does not touch [len]. *)
+let place w x =
+  let t = w.time x in
+  if t < w.base + grain w then heap_push w w.cur x
+  else begin
+    let delta = t - w.base in
+    let l = ref 0 in
+    while !l < levels && delta asr shift w (!l + 1) <> 0 do
+      incr l
+    done;
+    if !l = levels then heap_push w w.ovf x
+    else begin
+      let l = !l in
+      let slot = w.slots.(l).((t asr shift w l) land wmask) in
+      if slot.bn = Array.length slot.ba then begin
+        let cap = if slot.bn = 0 then 4 else 2 * slot.bn in
+        let a = Array.make cap w.dummy in
+        Array.blit slot.ba 0 a 0 slot.bn;
+        slot.ba <- a
+      end;
+      slot.ba.(slot.bn) <- x;
+      slot.bn <- slot.bn + 1;
+      w.counts.(l) <- w.counts.(l) + 1
+    end
+  end
+
+let push w x =
+  w.len <- w.len + 1;
+  place w x
+
+(* Dump a slot's elements through [place] (level-0 slots land in [cur],
+   higher-level slots redistribute downward) and reset it, overwriting
+   the tail with the dummy so nothing dispatched is retained. *)
+let cascade w l idx =
+  let slot = w.slots.(l).(idx) in
+  let n = slot.bn in
+  if n > 0 then begin
+    w.counts.(l) <- w.counts.(l) - n;
+    slot.bn <- 0;
+    for i = 0 to n - 1 do
+      let x = slot.ba.(i) in
+      slot.ba.(i) <- w.dummy;
+      place w x
+    done
+  end
+
+let top_range w = 1 lsl shift w levels
+
+(* Pull every overflow element the wheel can now cover back down. Runs
+   whenever the cursor enters a new top-level slot (and when the wheels
+   drain entirely), so an overflow timer always migrates long before
+   the wheel's range reaches it. *)
+let migrate_ovf w =
+  let limit = w.base + top_range w in
+  while w.ovf.hn > 0 && w.time w.ovf.ha.(0) < limit do
+    place w (heap_pop w w.ovf)
+  done
+
+(* Advance [base] until [cur] is non-empty (or the wheel is empty).
+   Scans the lowest occupied level for its next slot; an exhausted
+   window crosses the parent boundary, cascading the parent slot the
+   cursor enters. Amortized O(1) per element: every scan either finds a
+   batch or retires a whole window. *)
+let advance w =
+  if w.cur.hn = 0 && w.len > 0 then begin
+    while w.cur.hn = 0 do
+      let l = ref 0 in
+      while !l < levels && w.counts.(!l) = 0 do
+        incr l
+      done;
+      if !l = levels then begin
+        (* wheels empty: jump to the first overflow element *)
+        let t = w.time w.ovf.ha.(0) in
+        w.base <- t land lnot (grain w - 1);
+        migrate_ovf w
+      end
+      else begin
+        let l = !l in
+        let cursor = (w.base asr shift w l) land wmask in
+        (* Mid-window, the cursor slot holds only wrapped next-window
+           elements, so the scan starts after it. But when [base] sits
+           exactly at the cursor slot's start (right after a boundary
+           cross or jump), wrapped elements there have just become due
+           and must be scanned — and only then is cascading the cursor
+           slot safe: every element re-places strictly below level [l],
+           never back into the slot being drained. *)
+        let aligned = w.base land ((1 lsl shift w l) - 1) = 0 in
+        let start = if aligned then cursor else cursor + 1 in
+        let found = ref (-1) in
+        let i = ref start in
+        while !found < 0 && !i < wsize do
+          if w.slots.(l).(!i).bn > 0 then found := !i;
+          incr i
+        done;
+        if !found >= 0 then begin
+          let s = !found in
+          let slot_start =
+            ((w.base asr shift w l) + (s - cursor)) lsl shift w l
+          in
+          if slot_start > w.base then begin
+            w.base <- slot_start;
+            (* a top-level jump enters a new top slot: pull newly
+               coverable overflow elements down before cascading, or one
+               parked just above an old base's horizon is overtaken *)
+            if l = levels - 1 then migrate_ovf w
+          end;
+          cascade w l s
+        end
+        else begin
+          (* Window exhausted: cross into the next parent slot. The new
+             base is aligned at the level-(l+1) slot width, but it may
+             coincide with boundaries at several levels at once (a
+             level-0 window ending exactly at a level-2 slot edge), so
+             the cursor can enter a NEW slot at every level above l in
+             the same step. Enter them top-down — migrate overflow when
+             a fresh top-level slot comes into range, then cascade each
+             newly entered slot, higher levels first so their contents
+             re-place below before the lower slot is drained. Cascading
+             only the immediate parent would leave anything parked in a
+             coincidentally entered higher slot to be silently overtaken
+             until the wheel wrapped back around. *)
+          let pshift = shift w (l + 1) in
+          w.base <- ((w.base asr pshift) + 1) lsl pshift;
+          if l + 1 >= levels then migrate_ovf w
+          else
+            (* Down to 0, not l+1: a higher cascade can feed [cur]
+               directly, ending the advance loop before the scan would
+               ever revisit the lower cursor slots — so their wrapped,
+               now-due entries must be cascaded here as well. *)
+            for lv = levels - 1 downto 0 do
+              if w.base land ((1 lsl shift w lv) - 1) = 0 then begin
+                if lv = levels - 1 then migrate_ovf w;
+                cascade w lv ((w.base asr shift w lv) land wmask)
+              end
+            done
+        end
+      end
+    done
+  end
+
+let peek w =
+  advance w;
+  if w.cur.hn = 0 then None else Some w.cur.ha.(0)
+
+let debug_check = Sys.getenv_opt "ULS_WHEEL_CHECK" <> None
+
+let debug_min w =
+  (* exhaustive min over every residence, for the debug invariant only *)
+  let best = ref None in
+  let consider x =
+    match !best with
+    | None -> best := Some x
+    | Some b -> if w.cmp x b < 0 then best := Some x
+  in
+  for i = 0 to w.cur.hn - 1 do consider w.cur.ha.(i) done;
+  for i = 0 to w.ovf.hn - 1 do consider w.ovf.ha.(i) done;
+  Array.iteri
+    (fun _l lvl ->
+      Array.iter (fun slot -> for i = 0 to slot.bn - 1 do consider slot.ba.(i) done) lvl)
+    w.slots;
+  !best
+
+let locate w x =
+  let where = ref "?" in
+  for i = 0 to w.cur.hn - 1 do if w.cur.ha.(i) == x then where := "cur" done;
+  for i = 0 to w.ovf.hn - 1 do if w.ovf.ha.(i) == x then where := "ovf" done;
+  Array.iteri
+    (fun l lvl ->
+      Array.iteri
+        (fun idx slot ->
+          for i = 0 to slot.bn - 1 do
+            if slot.ba.(i) == x then where := Printf.sprintf "L%d[%d]" l idx
+          done)
+        lvl)
+    w.slots;
+  !where
+
+let pop w =
+  advance w;
+  if w.cur.hn = 0 then None
+  else begin
+    (if debug_check then
+       match debug_min w with
+       | Some m when w.cmp m w.cur.ha.(0) < 0 ->
+         Printf.eprintf
+           "WHEEL BUG: true min t=%d at %s but cur top t=%d; base=%d \
+            counts=[%s] cur=%d ovf=%d\n%!"
+           (w.time m) (locate w m)
+           (w.time w.cur.ha.(0))
+           w.base
+           (String.concat ";" (Array.to_list (Array.map string_of_int w.counts)))
+           w.cur.hn w.ovf.hn
+       | _ -> ());
+    w.len <- w.len - 1;
+    Some (heap_pop w w.cur)
+  end
+
+let clear w =
+  Array.iter
+    (fun lvl ->
+      Array.iter
+        (fun slot ->
+          slot.ba <- [||];
+          slot.bn <- 0)
+        lvl)
+    w.slots;
+  Array.fill w.counts 0 levels 0;
+  w.cur.ha <- [||];
+  w.cur.hn <- 0;
+  w.ovf.ha <- [||];
+  w.ovf.hn <- 0;
+  w.len <- 0

@@ -1,0 +1,42 @@
+(** Hierarchical timing wheel with an exact extraction-order contract.
+
+    A calendar-queue replacement for the event heap: O(1) amortized
+    insert and extract regardless of how many timers are pending, four
+    levels of 256 slots each (a level-[l] slot spans
+    [2^(grain_bits + 8l)] ns), and an overflow heap for timers beyond
+    the top level's range (RTO ceilings, fault windows) that migrates
+    down as the cursor approaches.
+
+    Extraction order is {e identical} to a binary heap over the same
+    comparator: every element whose time falls inside the current
+    cursor slot sits in a near-future heap ordered by the full [cmp],
+    so same-slot elements — in particular same-timestamp elements with
+    tie-break priorities — dispatch in exactly the comparison order.
+    Elements must never be inserted with a time earlier than the last
+    extracted element's time (the simulator's no-scheduling-in-the-past
+    rule); inserts earlier than the wheel's internal cursor but at or
+    after the last extraction are routed into the near-future heap and
+    order correctly. *)
+
+type 'a t
+
+val create :
+  ?grain_bits:int ->
+  dummy:'a ->
+  time:('a -> int) ->
+  cmp:('a -> 'a -> int) ->
+  unit ->
+  'a t
+(** [create ~dummy ~time ~cmp ()] builds an empty wheel. [time] must be
+    non-negative and consistent with [cmp]'s primary key. [dummy] fills
+    vacated slots so extracted elements are never retained.
+    [grain_bits] (default 8, i.e. 256 ns) sets the finest slot width;
+    the four levels then span [2^(grain_bits+32)] ns (~18 min at the
+    default) before the overflow heap takes over. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+val clear : 'a t -> unit

@@ -8,6 +8,9 @@ type port = {
 type t = {
   sim : Sim.t;
   metrics : Metrics.t;
+  drop_counters : (string, Stats.Counter.t) Hashtbl.t;
+      (* cause -> handle, memoised so the hot drop path skips the
+         registry's name lookup *)
   trace : Trace.t;
   fwd_latency : Time.ns;
   queue_limit : int;
@@ -28,6 +31,7 @@ let create sim ?(fwd_latency = 2_500) ?(queue_limit = 262_144) ~ports () =
   {
     sim;
     metrics = Metrics.for_sim sim;
+    drop_counters = Hashtbl.create 4;
     trace = Trace.for_sim sim;
     fwd_latency;
     queue_limit;
@@ -67,7 +71,15 @@ let frames_dropped t = t.dropped
    [switch.drop.fault] (injected). *)
 let drop t frame ~cause =
   t.dropped <- t.dropped + 1;
-  Metrics.incr t.metrics ("switch.drop." ^ cause);
+  let c =
+    match Hashtbl.find_opt t.drop_counters cause with
+    | Some c -> c
+    | None ->
+      let c = Metrics.counter t.metrics ("switch.drop." ^ cause) in
+      Hashtbl.add t.drop_counters cause c;
+      c
+  in
+  Stats.Counter.incr c;
   Trace.instant t.trace ~layer:Trace.Net "switch.drop"
     ~args:
       [

@@ -66,6 +66,17 @@ type cell = {
   mutable drain_open : int;  (* connections open when draining began *)
 }
 
+type handles = {
+  h_cell_up : Stats.Counter.t;
+  h_cell_draining : Stats.Counter.t;
+  h_cell_drained : Stats.Counter.t;
+  h_cell_down : Stats.Counter.t;
+  g_ring_cells : float ref;
+  h_connects : Stats.Counter.t;
+  h_probes_ok : Stats.Counter.t;
+  h_probes_failed : Stats.Counter.t;
+}
+
 type t = {
   sim : Sim.t;
   api : Api.stack;
@@ -73,6 +84,7 @@ type t = {
   ring : Ring.t;
   cells : cell array;
   metrics : Metrics.t;
+  mh : handles;
   mutable events : event list;  (* newest first *)
   mutable running : bool;
 }
@@ -82,9 +94,13 @@ exception No_live_cells
 let record t cell to_state cause =
   cell.state <- to_state;
   t.events <- { at = Sim.now t.sim; cell = cell.id; to_state; cause } :: t.events;
-  Metrics.incr t.metrics ("fabric.cell." ^ state_name to_state);
-  Metrics.set_gauge t.metrics "fabric.ring.cells"
-    (float_of_int (Ring.size t.ring))
+  Stats.Counter.incr
+    (match to_state with
+    | Up -> t.mh.h_cell_up
+    | Draining -> t.mh.h_cell_draining
+    | Drained -> t.mh.h_cell_drained
+    | Down -> t.mh.h_cell_down);
+  t.mh.g_ring_cells := float_of_int (Ring.size t.ring)
 
 let mark_down t cell ~cause =
   if cell.state = Up then begin
@@ -131,7 +147,7 @@ let route t ~key =
 let connect t ~client_node ~key =
   let id = route t ~key in
   let cell = t.cells.(id) in
-  Metrics.incr t.metrics "fabric.connects";
+  Stats.Counter.incr t.mh.h_connects;
   match
     t.api.Api.connect ~node:client_node { node = cell.node; port = t.cfg.port }
   with
@@ -160,10 +176,10 @@ let prober t cell () =
         with
         | s ->
           (try s.Api.close () with _ -> ());
-          Metrics.incr t.metrics "fabric.probes.ok";
+          Stats.Counter.incr t.mh.h_probes_ok;
           note_success t cell
         | exception _ ->
-          Metrics.incr t.metrics "fabric.probes.failed";
+          Stats.Counter.incr t.mh.h_probes_failed;
           note_failure t cell ~cause:"probe-timeout")
     end
   done
@@ -208,6 +224,8 @@ let create sim (api : Api.stack) ~nodes config =
          nodes)
   in
   Array.iter (fun c -> Ring.add ring c.id) cells;
+  let metrics = Metrics.for_sim sim in
+  let counter name = Metrics.counter metrics name in
   let t =
     {
       sim;
@@ -215,13 +233,23 @@ let create sim (api : Api.stack) ~nodes config =
       cfg = config;
       ring;
       cells;
-      metrics = Metrics.for_sim sim;
+      metrics;
+      mh =
+        {
+          h_cell_up = counter "fabric.cell.up";
+          h_cell_draining = counter "fabric.cell.draining";
+          h_cell_drained = counter "fabric.cell.drained";
+          h_cell_down = counter "fabric.cell.down";
+          g_ring_cells = Metrics.gauge metrics "fabric.ring.cells";
+          h_connects = counter "fabric.connects";
+          h_probes_ok = counter "fabric.probes.ok";
+          h_probes_failed = counter "fabric.probes.failed";
+        };
       events = [];
       running = true;
     }
   in
-  Metrics.set_gauge t.metrics "fabric.ring.cells"
-    (float_of_int (Ring.size ring));
+  t.mh.g_ring_cells := float_of_int (Ring.size ring);
   (match config.probe_node with
   | Some _ ->
     Array.iter

@@ -15,11 +15,26 @@ type fwd_event =
       (** [(src, tag, frame)]; [frame = None] is a host doorbell
           ({!coll_signal}) counting as a local arrival. *)
 
+(* Metric handles resolved once at create so per-frame accounting is a
+   cell bump, not a registry lookup. *)
+type handles = {
+  h_match_walk_descs : Stats.Summary.t;
+  h_match_hash_lookups : Stats.Summary.t;
+  h_coll_forwarded : Stats.Counter.t;
+  h_coll_delivered : Stats.Counter.t;
+  h_coll_matched : Stats.Counter.t;
+  h_fwd_walk_descs : Stats.Summary.t;
+  h_rx_crc_drop : Stats.Counter.t;
+  h_rx_frames : Stats.Counter.t;
+  h_tx_frames : Stats.Counter.t;
+}
+
 type t = {
   node_id : int;
   sim : Sim.t;
   model : Cost_model.t;
   metrics : Metrics.t;
+  mh : handles;
   trace : Trace.t;
   net : Uls_ether.Network.t;
   tx_cpu : Resource.t;
@@ -67,11 +82,9 @@ let match_cost t (p : Match_list.probe) =
   + (p.lookups * t.model.Cost_model.nic_hash_lookup)
 
 let observe_match t (p : Match_list.probe) =
-  Metrics.observe t.metrics ~node:t.node_id "nic.match_walk_descs"
-    (float_of_int p.walked);
+  Stats.Summary.add t.mh.h_match_walk_descs (float_of_int p.walked);
   if p.lookups > 0 then
-    Metrics.observe t.metrics ~node:t.node_id "nic.match_hash_lookups"
-      (float_of_int p.lookups)
+    Stats.Summary.add t.mh.h_match_hash_lookups (float_of_int p.lookups)
 
 let fwd_complete t fwd completing =
   (match Match_list.remove_first t.fwd_list (fun f -> f == fwd) with
@@ -82,7 +95,7 @@ let fwd_complete t fwd completing =
     (fun frame ->
       Resource.use t.tx_cpu t.model.Cost_model.nic_coll_forward;
       t.coll_forwarded <- t.coll_forwarded + 1;
-      Metrics.incr t.metrics ~node:t.node_id "nic.coll_forwarded";
+      Stats.Counter.incr t.mh.h_coll_forwarded;
       Trace.instant t.trace ~layer:Trace.Nic ~node:t.node_id "nic.fwd_forward";
       Uls_ether.Network.send t.net frame)
     frames;
@@ -97,7 +110,7 @@ let fwd_complete t fwd completing =
     in
     Resource.use t.dma_engine (Cost_model.dma_cost t.model bytes);
     t.coll_delivered <- t.coll_delivered + 1;
-    Metrics.incr t.metrics ~node:t.node_id "nic.coll_delivered";
+    Stats.Counter.incr t.mh.h_coll_delivered;
     deliver completing
 
 let fwd_match t ~src ~tag frame =
@@ -114,9 +127,8 @@ let fwd_match t ~src ~tag frame =
   | Some fwd, probe ->
     Resource.use t.rx_cpus.(0) (match_cost t probe);
     t.coll_matched <- t.coll_matched + 1;
-    Metrics.incr t.metrics ~node:t.node_id "nic.coll_matched";
-    Metrics.observe t.metrics ~node:t.node_id "nic.fwd_walk_descs"
-      (float_of_int probe.walked);
+    Stats.Counter.incr t.mh.h_coll_matched;
+    Stats.Summary.add t.mh.h_fwd_walk_descs (float_of_int probe.walked);
     observe_match t probe;
     Trace.instant t.trace ~layer:Trace.Nic ~node:t.node_id "nic.fwd_match"
       ~args:[ ("walked", string_of_int probe.walked) ];
@@ -176,12 +188,27 @@ let create ?(match_engine = Match_list.Linear) sim model net ~node =
      core; the hashed firmware runs a receive queue on each, the original
      linear firmware dedicates a single core to receive. *)
   let n_rx = match match_engine with Match_list.Linear -> 1 | Hashed -> 2 in
+  let metrics = Metrics.for_sim sim in
+  let counter name = Metrics.counter metrics ~node name in
+  let histogram name = Metrics.histogram metrics ~node name in
   let t =
     {
       node_id = node;
       sim;
       model;
-      metrics = Metrics.for_sim sim;
+      metrics;
+      mh =
+        {
+          h_match_walk_descs = histogram "nic.match_walk_descs";
+          h_match_hash_lookups = histogram "nic.match_hash_lookups";
+          h_coll_forwarded = counter "nic.coll_forwarded";
+          h_coll_delivered = counter "nic.coll_delivered";
+          h_coll_matched = counter "nic.coll_matched";
+          h_fwd_walk_descs = histogram "nic.fwd_walk_descs";
+          h_rx_crc_drop = counter "nic.rx_crc_drop";
+          h_rx_frames = counter "nic.rx_frames";
+          h_tx_frames = counter "nic.tx_frames";
+        };
       trace = Trace.for_sim sim;
       net;
       tx_cpu = Resource.create sim ~name:(name "txcpu");
@@ -207,7 +234,7 @@ let create ?(match_engine = Match_list.Linear) sim model net ~node =
            in hardware, never reaching the firmware — but it did occupy
            the wire, and the Rx MAC spends classify-equivalent time
            before the checksum verdict. *)
-        Metrics.incr t.metrics ~node "nic.rx_crc_drop";
+        Stats.Counter.incr t.mh.h_rx_crc_drop;
         Trace.instant t.trace ~layer:Trace.Nic ~node "nic.rx_crc_drop";
         let q = steer t ~flow:frame.Uls_ether.Frame.src in
         ignore
@@ -216,7 +243,7 @@ let create ?(match_engine = Match_list.Linear) sim model net ~node =
       end
       else begin
         t.rx_frames <- t.rx_frames + 1;
-        Metrics.incr t.metrics ~node "nic.rx_frames";
+        Stats.Counter.incr t.mh.h_rx_frames;
         match t.coll_classify frame with
         | Some (src, tag) ->
           Mailbox.send t.fwd_queue (Fwd_arrive (src, tag, Some frame))
@@ -241,7 +268,7 @@ let transmit t frame =
   let uplink = Uls_ether.Network.uplink t.net ~station:t.node_id in
   let backlog = Uls_ether.Link.busy_until uplink - Sim.now t.sim in
   if backlog > tx_fifo_ns then Sim.delay t.sim (backlog - tx_fifo_ns);
-  Metrics.incr t.metrics ~node:t.node_id "nic.tx_frames";
+  Stats.Counter.incr t.mh.h_tx_frames;
   Uls_ether.Network.send t.net frame
 
 let tx_work t d =

@@ -6,9 +6,17 @@ open Uls_engine
 
 type trigger = Level | Edge
 
+type handles = {
+  g_registered : float ref;
+  hc_wakeups : Stats.Counter.t;
+  hc_spurious : Stats.Counter.t;
+  hs_ready_batch : Stats.Summary.t;
+}
+
 type 'a t = {
   node : int;
   metrics : Metrics.t;
+  mh : handles;
   ready : 'a handle Queue.t;
   cond : Cond.t;
   mutable kicked : bool;
@@ -28,9 +36,17 @@ and 'a handle = {
 }
 
 let create sim ~node =
+  let metrics = Metrics.for_sim sim in
   {
     node;
-    metrics = Metrics.for_sim sim;
+    metrics;
+    mh =
+      {
+        g_registered = Metrics.gauge metrics ~node "server.evq.registered";
+        hc_wakeups = Metrics.counter metrics ~node "server.evq.wakeups";
+        hc_spurious = Metrics.counter metrics ~node "server.evq.spurious";
+        hs_ready_batch = Metrics.histogram metrics ~node "server.evq.ready_batch";
+      };
     ready = Queue.create ();
     cond = Cond.create ~label:(Printf.sprintf "evq:%d" node) sim;
     kicked = false;
@@ -64,8 +80,7 @@ let register t ?(mode = Level) ~readable ~watch payload =
     }
   in
   t.n_registered <- t.n_registered + 1;
-  Metrics.set_gauge t.metrics ~node:t.node "server.evq.registered"
-    (float_of_int t.n_registered);
+  t.mh.g_registered := float_of_int t.n_registered;
   watch (fun () -> on_event h);
   if readable () then enqueue t h;
   h
@@ -82,8 +97,7 @@ let deregister h =
     h.h_registered <- false;
     let t = h.h_q in
     t.n_registered <- t.n_registered - 1;
-    Metrics.set_gauge t.metrics ~node:t.node "server.evq.registered"
-      (float_of_int t.n_registered)
+    t.mh.g_registered := float_of_int t.n_registered
   end
 
 let wait t =
@@ -100,7 +114,7 @@ let wait t =
     Cond.wait t.cond
   done;
   t.kicked <- false;
-  Metrics.incr t.metrics ~node:t.node "server.evq.wakeups";
+  Stats.Counter.incr t.mh.hc_wakeups;
   let batch = ref [] in
   while not (Queue.is_empty t.ready) do
     let h = Queue.pop t.ready in
@@ -109,13 +123,12 @@ let wait t =
     else if h.h_mode = Level && not (h.h_readable ()) then
       (* queued by an event but drained (or never readable) by delivery
          time — the epoll definition of a spurious wake-up *)
-      Metrics.incr t.metrics ~node:t.node "server.evq.spurious"
+      Stats.Counter.incr t.mh.hc_spurious
     else batch := h :: !batch
   done;
   let batch = List.rev !batch in
   t.last_batch <- batch;
-  Metrics.observe t.metrics ~node:t.node "server.evq.ready_batch"
-    (float_of_int (List.length batch));
+  Stats.Summary.add t.mh.hs_ready_batch (float_of_int (List.length batch));
   List.map (fun h -> h.h_payload) batch
 
 let kick t =

@@ -31,6 +31,7 @@ type t = {
   shards : shard array;
   hash : Api.addr -> int;
   metrics : Metrics.t;
+  h_steered : Stats.Counter.t;
   mutable open_shards : int;
   mutable running : bool;
   wake : Cond.t;
@@ -44,7 +45,7 @@ let deliver t (stream, peer) =
   if shard.s_closed then (try stream.Api.close () with _ -> ())
   else begin
     Queue.push (stream, peer) shard.s_queue;
-    Metrics.incr t.metrics ~node:t.node "server.reuseport.steered";
+    Stats.Counter.incr t.h_steered;
     Cond.broadcast shard.s_cond;
     fire shard
   end
@@ -108,6 +109,7 @@ let shard_listener t i =
 
 let listeners sim ~node ?(hash = default_hash) ~shards under =
   if shards < 1 then invalid_arg "Reuseport.listeners: shards < 1";
+  let metrics = Metrics.for_sim sim in
   let t =
     {
       sim;
@@ -125,7 +127,8 @@ let listeners sim ~node ?(hash = default_hash) ~shards under =
                   sim;
             });
       hash;
-      metrics = Metrics.for_sim sim;
+      metrics;
+      h_steered = Metrics.counter metrics ~node "server.reuseport.steered";
       open_shards = shards;
       running = true;
       wake = Cond.create ~label:(Printf.sprintf "reuseport:%d wake" node) sim;

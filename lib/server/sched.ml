@@ -47,6 +47,15 @@ type conn = {
 
 and payload = Accept | Conn of conn
 
+type handles = {
+  h_closes : Stats.Counter.t;
+  h_dispatches : Stats.Counter.t;
+  g_backlog : float ref;
+  h_shed : Stats.Counter.t;
+  h_accepts : Stats.Counter.t;
+  h_embryo_closed : Stats.Counter.t;
+}
+
 type t = {
   sim : Sim.t;
   node : int;
@@ -56,6 +65,7 @@ type t = {
   evq : payload Evq.t;
   runq : conn option Mailbox.t;  (* None = worker stop sentinel *)
   metrics : Metrics.t;
+  mh : handles;
   conns : (int, conn) Hashtbl.t;
   mutable next_id : int;
   mutable inflight : int;
@@ -77,14 +87,14 @@ let close_conn t c =
     Hashtbl.remove t.conns c.c_id;
     (try c.c_stream.close () with _ -> ());
     t.inflight <- t.inflight - 1;
-    Metrics.incr t.metrics ~node:t.node "server.sched.closes"
+    Stats.Counter.incr t.mh.h_closes
   end
 
 (* One chunk per dispatch. The readable guard keeps a spurious edge
    event from parking the worker inside recv on an idle connection. *)
 let process t c =
   if c.c_open && c.c_stream.readable () then begin
-    Metrics.incr t.metrics ~node:t.node "server.sched.dispatches";
+    Stats.Counter.incr t.mh.h_dispatches;
     let data = try c.c_stream.recv chunk with _ -> "" in
     if data = "" then close_conn t c
     else begin
@@ -106,8 +116,7 @@ let process t c =
   else c.c_queued <- false
 
 let update_backlog t =
-  Metrics.set_gauge t.metrics ~node:t.node "server.listener.backlog"
-    (float_of_int (try t.listener.pending () with _ -> 0))
+  t.mh.g_backlog := float_of_int (try t.listener.pending () with _ -> 0)
 
 let drain_accepts t =
   let n = ref 0 in
@@ -129,13 +138,13 @@ let drain_accepts t =
         | None -> ());
         (try stream.close () with _ -> ());
         t.shed <- t.shed + 1;
-        Metrics.incr t.metrics ~node:t.node "server.sched.shed"
+        Stats.Counter.incr t.mh.h_shed
       end
       else begin
         t.inflight <- t.inflight + 1;
         if t.inflight > t.peak_inflight then t.peak_inflight <- t.inflight;
         t.accepted <- t.accepted + 1;
-        Metrics.incr t.metrics ~node:t.node "server.sched.accepts";
+        Stats.Counter.incr t.mh.h_accepts;
         let c =
           {
             c_id = t.next_id;
@@ -171,8 +180,7 @@ let drain_accepts t =
             (fun () ->
               Sim.delay t.sim t.cfg.embryo_timeout;
               if c.c_open && not c.c_seen_data then begin
-                Metrics.incr t.metrics ~node:t.node
-                  "server.sched.embryo_closed";
+                Stats.Counter.incr t.mh.h_embryo_closed;
                 close_conn t c
               end)
       end
@@ -204,6 +212,8 @@ let worker t () =
   loop ()
 
 let start sim ~node ?(config = default_config) ~listener ~handler () =
+  let metrics = Metrics.for_sim sim in
+  let counter name = Metrics.counter metrics ~node name in
   let t =
     {
       sim;
@@ -213,7 +223,16 @@ let start sim ~node ?(config = default_config) ~listener ~handler () =
       handler;
       evq = Evq.create sim ~node;
       runq = Mailbox.create ~label:(Printf.sprintf "sched:%d runq" node) sim;
-      metrics = Metrics.for_sim sim;
+      metrics;
+      mh =
+        {
+          h_closes = counter "server.sched.closes";
+          h_dispatches = counter "server.sched.dispatches";
+          g_backlog = Metrics.gauge metrics ~node "server.listener.backlog";
+          h_shed = counter "server.sched.shed";
+          h_accepts = counter "server.sched.accepts";
+          h_embryo_closed = counter "server.sched.embryo_closed";
+        };
       conns = Hashtbl.create 64;
       next_id = 0;
       inflight = 0;

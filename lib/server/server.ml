@@ -7,9 +7,16 @@ module Http = Uls_apps.Http
 
 type workload = Echo | Http of int
 
+type handles = {
+  h_echo_chunks : Stats.Counter.t;
+  h_echo_bytes : Stats.Counter.t;
+  h_http_requests : Stats.Counter.t;
+}
+
 type t = {
   node : int;
   metrics : Metrics.t;
+  mh : handles;
   trace : Trace.t;
   mutable served : int;
   mutable scheds : Sched.t array;
@@ -48,8 +55,8 @@ let http_reject =
 
 let echo_handler t _peer data =
   t.served <- t.served + 1;
-  Metrics.incr t.metrics ~node:t.node "server.echo.chunks";
-  Metrics.add t.metrics ~node:t.node "server.echo.bytes" (String.length data);
+  Stats.Counter.incr t.mh.h_echo_chunks;
+  Stats.Counter.add t.mh.h_echo_bytes (String.length data);
   Trace.instant t.trace ~layer:Trace.App ~node:t.node "server.echo"
     ~args:[ ("bytes", string_of_int (String.length data)) ];
   { Sched.replies = [ data ]; close = false }
@@ -79,7 +86,7 @@ let http_handler t default_size peer =
                  ~args:[ ("peer", Format.asprintf "%a" Api.pp_addr peer) ]
                  (fun () ->
                    t.served <- t.served + 1;
-                   Metrics.incr t.metrics ~node:t.node "server.http.requests";
+                   Stats.Counter.incr t.mh.h_http_requests;
                    let size =
                      body_size_of_path ~default:default_size req.Http.path
                    in
@@ -111,10 +118,18 @@ let start sim (stack : Api.stack) ~node ~port ?(backlog = 64) ?config
         reject = (match workload with Http _ -> Some http_reject | Echo -> None);
       }
   in
+  let metrics = Metrics.for_sim sim in
+  let counter name = Metrics.counter metrics ~node name in
   let t =
     {
       node;
-      metrics = Metrics.for_sim sim;
+      metrics;
+      mh =
+        {
+          h_echo_chunks = counter "server.echo.chunks";
+          h_echo_bytes = counter "server.echo.bytes";
+          h_http_requests = counter "server.http.requests";
+        };
       trace = Trace.for_sim sim;
       served = 0;
       scheds = [||];

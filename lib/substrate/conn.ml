@@ -40,6 +40,21 @@ type rdvz_req = {
   rq_size : int;
 }
 
+(* Metric handles resolved once at create: stream reads/writes bump a
+   counter cell directly instead of a per-call registry lookup. *)
+type handles = {
+  h_credit_acks_sent : Stats.Counter.t;
+  h_credit_wait_us : Stats.Summary.t;
+  h_rdvz_grant_wait_us : Stats.Summary.t;
+  h_writes : Stats.Counter.t;
+  h_bytes_written : Stats.Counter.t;
+  h_ack_holdoffs_armed : Stats.Counter.t;
+  h_reads : Stats.Counter.t;
+  h_bytes_read : Stats.Counter.t;
+  h_close_retries : Stats.Counter.t;
+  h_resets : Stats.Counter.t;
+}
+
 type t = {
   env : env;
   id : int;
@@ -95,6 +110,7 @@ type t = {
   (** per-connection readiness watchers (the event engine's O(ready)
       notification path); fired on data arrival, EOF and reset *)
   metrics : Metrics.t;
+  mh : handles;
   trace : Trace.t;
   inv : Invariant.t;
 }
@@ -145,7 +161,7 @@ let send_credit_ack t =
   if t.consumed_since_ack > 0 && t.peer_conn >= 0 && not t.peer_closed then begin
     let count = t.consumed_since_ack in
     t.consumed_since_ack <- 0;
-    Metrics.incr t.metrics ~node:(node_id t) "sub.credit_acks_sent";
+    Stats.Counter.incr t.mh.h_credit_acks_sent;
     Trace.instant t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
       "sub.credit_ack"
       ~args:[ ("credits", string_of_int count) ];
@@ -186,7 +202,7 @@ let take_credit t =
       ~finally:(fun () ->
         Trace.span_end t.trace ~layer:Trace.Substrate ~node:(node_id t)
           ~conn:t.id "sub.credit_wait" id;
-        Metrics.observe t.metrics ~node:(node_id t) "sub.credit_wait_us"
+        Stats.Summary.add t.mh.h_credit_wait_us
           (float_of_int (Sim.now (sim t) - t0) /. 1_000.))
       wait
   end
@@ -421,7 +437,7 @@ let rendezvous_write t data =
       t.closed || t.peer_closed || t.reset || Hashtbl.mem t.granted rid);
   Trace.span_end t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
     ~seq "sub.rdvz_grant_wait" grant_wait;
-  Metrics.observe t.metrics ~node:(node_id t) "sub.rdvz_grant_wait_us"
+  Stats.Summary.add t.mh.h_rdvz_grant_wait_us
     (float_of_int (Sim.now (sim t) - t0) /. 1_000.);
   if t.reset then raise Reset;
   if not (Hashtbl.mem t.granted rid) then raise Closed;
@@ -481,9 +497,8 @@ let write t data =
   if t.closed || t.peer_closed then raise Closed;
   if t.peer_conn < 0 then raise Closed;
   if String.length data > 0 then begin
-    Metrics.incr t.metrics ~node:(node_id t) "sub.writes";
-    Metrics.add t.metrics ~node:(node_id t) "sub.bytes_written"
-      (String.length data);
+    Stats.Counter.incr t.mh.h_writes;
+    Stats.Counter.add t.mh.h_bytes_written (String.length data);
     Trace.span t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
       "sub.write"
       ~args:[ ("len", string_of_int (String.length data)) ]
@@ -525,7 +540,7 @@ let ack_due t =
   if (opts t).Options.piggyback then begin
     if not t.ack_holdoff_armed then begin
       t.ack_holdoff_armed <- true;
-      Metrics.incr t.metrics ~node:(node_id t) "sub.ack_holdoffs_armed";
+      Stats.Counter.incr t.mh.h_ack_holdoffs_armed;
       Trace.instant t.trace ~layer:Trace.Substrate ~node:(node_id t)
         ~conn:t.id "sub.ack_holdoff";
       Sim.at (sim t)
@@ -643,9 +658,8 @@ let read t n =
             wait ()
         in
         let s = wait () in
-        Metrics.incr t.metrics ~node:(node_id t) "sub.reads";
-        Metrics.add t.metrics ~node:(node_id t) "sub.bytes_read"
-          (String.length s);
+        Stats.Counter.incr t.mh.h_reads;
+        Stats.Counter.add t.mh.h_bytes_read (String.length s);
         s)
 
 let readable t =
@@ -695,7 +709,7 @@ let close_notify_fiber t seq () =
       match E.wait_send t.env.emp s with
       | () -> ()
       | exception E.Send_failed _ ->
-        Metrics.incr t.metrics ~node:(node_id t) "sub.close_retries";
+        Stats.Counter.incr t.mh.h_close_retries;
         Trace.instant t.trace ~layer:Trace.Substrate ~node:(node_id t)
           ~conn:t.id "sub.close_retry"
           ~args:[ ("attempt", string_of_int n) ];
@@ -723,7 +737,7 @@ let close t =
 let mark_reset t =
   if not (t.closed || t.reset) then begin
     t.reset <- true;
-    Metrics.incr t.metrics ~node:(node_id t) "sub.resets";
+    Stats.Counter.incr t.mh.h_resets;
     Trace.instant t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
       "sub.reset";
     unpost_everything t;
@@ -755,6 +769,10 @@ let leaked_slots t =
 
 let create env ~id ~peer_node ~peer_conn ~local_addr ~peer_addr =
   let opts = env.opts in
+  let metrics = Metrics.for_sim (Node.sim env.node) in
+  let node_id = Node.id env.node in
+  let counter name = Metrics.counter metrics ~node:node_id name in
+  let histogram name = Metrics.histogram metrics ~node:node_id name in
   let mk_slot size =
     let region = Memory.alloc size in
     (* Credit buffers come from the library's registered pool: pinned
@@ -825,7 +843,20 @@ let create env ~id ~peer_node ~peer_conn ~local_addr ~peer_addr =
       close_seq = max_int;
       closed = false;
       reset = false;
-      metrics = Metrics.for_sim (Node.sim env.node);
+      metrics;
+      mh =
+        {
+          h_credit_acks_sent = counter "sub.credit_acks_sent";
+          h_credit_wait_us = histogram "sub.credit_wait_us";
+          h_rdvz_grant_wait_us = histogram "sub.rdvz_grant_wait_us";
+          h_writes = counter "sub.writes";
+          h_bytes_written = counter "sub.bytes_written";
+          h_ack_holdoffs_armed = counter "sub.ack_holdoffs_armed";
+          h_reads = counter "sub.reads";
+          h_bytes_read = counter "sub.bytes_read";
+          h_close_retries = counter "sub.close_retries";
+          h_resets = counter "sub.resets";
+        };
       trace = Trace.for_sim (Node.sim env.node);
       inv = Invariant.for_sim (Node.sim env.node);
     }

@@ -27,9 +27,19 @@ type listener = {
   mutable l_closed : bool;
 }
 
+(* Control-path metric handles, resolved once at create. *)
+type handles = {
+  h_refusals_sent : Stats.Counter.t;
+  h_accept_dups : Stats.Counter.t;
+  h_accepts : Stats.Counter.t;
+  h_connect_retries : Stats.Counter.t;
+  h_connects : Stats.Counter.t;
+}
+
 type t = {
   node : Node.t;
   emp : E.t;
+  mh : handles;
   opts : Options.t;
   ctrl_pool : Sendpool.t;
   conns : (int, Conn.t) Hashtbl.t;
@@ -93,8 +103,7 @@ let refusal_fiber t () =
       match Codec.decode ~count:3 data with
       | [ rq_node; rq_conn; _rq_port ] when rq_conn >= 0 && rq_conn <= Tags.max_id
         ->
-        Metrics.incr (Metrics.for_sim (sim t)) ~node:(node_id t)
-          "sub.refusals_sent";
+        Stats.Counter.incr t.mh.h_refusals_sent;
         Trace.instant (Trace.for_sim (sim t)) ~layer:Trace.Substrate
           ~node:(node_id t) "sub.refuse"
           ~args:[ ("peer", string_of_int rq_node) ];
@@ -112,10 +121,20 @@ let refusal_fiber t () =
 let create ?(opts = Options.data_streaming_enhanced) node emp =
   if opts.Options.unexpected_queue then
     E.provision_unexpected emp ~slots:((4 * opts.Options.credits) + 32) ~size:64;
+  let metrics = Metrics.for_sim (Node.sim node) in
+  let counter name = Metrics.counter metrics ~node:(Node.id node) name in
   let t =
     {
       node;
       emp;
+      mh =
+        {
+          h_refusals_sent = counter "sub.refusals_sent";
+          h_accept_dups = counter "sub.accept_dups";
+          h_accepts = counter "sub.accepts";
+          h_connect_retries = counter "sub.connect_retries";
+          h_connects = counter "sub.connects";
+        };
       opts;
       ctrl_pool = Sendpool.create node emp ~slots:64 ~size:256;
       conns = Hashtbl.create 32;
@@ -242,8 +261,7 @@ let rec try_accept t l =
   | Some id when Hashtbl.mem t.conns id ->
     (* The client retried because our reply was lost: resend it for the
        connection already built, and look for the next fresh request. *)
-    Metrics.incr (Metrics.for_sim (sim t)) ~node:(node_id t)
-      "sub.accept_dups";
+    Stats.Counter.incr t.mh.h_accept_dups;
     Trace.instant (Trace.for_sim (sim t)) ~layer:Trace.Substrate
       ~node:(node_id t) ~conn:id "sub.accept_dup"
       ~args:[ ("peer", string_of_int rq.rq_node) ];
@@ -262,7 +280,7 @@ let rec try_accept t l =
   in
   Hashtbl.replace t.conns id conn;
   Hashtbl.replace t.accepted (rq.rq_node, rq.rq_conn) id;
-  Metrics.incr (Metrics.for_sim (sim t)) ~node:(node_id t) "sub.accepts";
+  Stats.Counter.incr t.mh.h_accepts;
   Trace.instant (Trace.for_sim (sim t)) ~layer:Trace.Substrate
     ~node:(node_id t) ~conn:id "sub.accept"
     ~args:[ ("peer", string_of_int rq.rq_node) ];
@@ -340,8 +358,7 @@ let connect_blocking t (server : Uls_api.Sockets_api.addr) =
      may retry later (the server may simply not have listened yet). *)
   let rec attempt n timeout =
     if n > 1 then begin
-      Metrics.incr (Metrics.for_sim (sim t)) ~node:(node_id t)
-        "sub.connect_retries";
+      Stats.Counter.incr t.mh.h_connect_retries;
       Trace.instant (Trace.for_sim (sim t)) ~layer:Trace.Substrate
         ~node:(node_id t) ~conn:id "sub.connect_retry"
         ~args:[ ("attempt", string_of_int n) ]
@@ -373,7 +390,7 @@ let connect_blocking t (server : Uls_api.Sockets_api.addr) =
 let connect t (server : Uls_api.Sockets_api.addr) =
   if server.port < 0 || server.port > Tags.max_id then
     invalid_arg "substrate: port > 4095";
-  Metrics.incr (Metrics.for_sim (sim t)) ~node:(node_id t) "sub.connects";
+  Stats.Counter.incr t.mh.h_connects;
   Trace.span (Trace.for_sim (sim t)) ~layer:Trace.Substrate ~node:(node_id t)
     "sub.connect" (fun () -> connect_blocking t server)
 
@@ -418,11 +435,13 @@ let api (subs : t array) : Uls_api.Sockets_api.stack =
   let select ~node streams =
     let s = subs.(node) in
     let m = Metrics.for_sim (sim s) in
+    let h_scans = Metrics.counter m ~node "api.select_scans" in
+    let h_scanned = Metrics.counter m ~node "api.select_streams_scanned" in
     let ready () =
       (* The O(registered) scan the event engine exists to avoid; the
          counters let experiments compare it against evq wakeups. *)
-      Metrics.incr m ~node "api.select_scans";
-      Metrics.add m ~node "api.select_streams_scanned" (List.length streams);
+      Stats.Counter.incr h_scans;
+      Stats.Counter.add h_scanned (List.length streams);
       List.filter (fun (st : Uls_api.Sockets_api.stream) -> st.readable ()) streams
     in
     let rec wait () =

@@ -9,12 +9,21 @@ type partial = {
   born : Time.ns;
 }
 
+type handles = {
+  h_tx_datagrams : Stats.Counter.t;
+  h_tx_frames : Stats.Counter.t;
+  h_rx_datagrams : Stats.Counter.t;
+  h_interrupts : Stats.Counter.t;
+  h_frames_per_interrupt : Stats.Summary.t;
+}
+
 type t = {
   node : Node.t;
   nic : Tigon.t;
   cpu : Resource.t;
   config : Config.t;
   metrics : Metrics.t;
+  mh : handles;
   trace : Trace.t;
   mutable handler : src:int -> Segment.ip_payload -> unit;
   pending : Uls_ether.Frame.t Queue.t;
@@ -52,14 +61,14 @@ let send t ~dst payload =
   t.next_ip_id <- t.next_ip_id + 1;
   let id = t.next_ip_id in
   let per = Segment.max_fragment_payload in
-  Metrics.incr t.metrics ~node:me "ip.tx_datagrams";
+  Stats.Counter.incr t.mh.h_tx_datagrams;
   Trace.instant t.trace ~layer:Trace.Tcpip ~node:me ~seq:id "ip.tx"
     ~args:[ ("bytes", string_of_int total); ("dst", string_of_int dst) ];
   let rec emit off first =
     let remaining = total - off in
     if remaining > 0 || first then begin
       let carried = min per remaining in
-      Metrics.incr t.metrics ~node:me "ip.tx_frames";
+      Stats.Counter.incr t.mh.h_tx_frames;
       Resource.use t.cpu m.Cost_model.driver_tx_per_frame;
       Resource.use t.cpu m.Cost_model.pio_write;
       let fp : Uls_ether.Frame.payload =
@@ -97,7 +106,7 @@ let evict_stale t =
 
 let deliver t ~src payload =
   t.delivered <- t.delivered + 1;
-  Metrics.incr t.metrics ~node:(Node.id t.node) "ip.rx_datagrams";
+  Stats.Counter.incr t.mh.h_rx_datagrams;
   Trace.instant t.trace ~layer:Trace.Tcpip ~node:(Node.id t.node) "ip.rx"
     ~args:[ ("src", string_of_int src) ];
   t.handler ~src payload
@@ -157,8 +166,8 @@ let dispatcher t () =
       in
       coalesce ();
       t.interrupts <- t.interrupts + 1;
-      Metrics.incr t.metrics ~node:(Node.id t.node) "ip.interrupts";
-      Metrics.observe t.metrics ~node:(Node.id t.node) "ip.frames_per_interrupt"
+      Stats.Counter.incr t.mh.h_interrupts;
+      Stats.Summary.add t.mh.h_frames_per_interrupt
         (float_of_int (Queue.length t.pending));
       Resource.use t.cpu m.Cost_model.interrupt;
       let sp =
@@ -183,13 +192,24 @@ let dispatcher t () =
   loop ()
 
 let create node nic ~cpu ~config =
+  let metrics = Metrics.for_sim (Node.sim node) in
+  let counter name = Metrics.counter metrics ~node:(Node.id node) name in
+  let histogram name = Metrics.histogram metrics ~node:(Node.id node) name in
   let t =
     {
       node;
       nic;
       cpu;
       config;
-      metrics = Metrics.for_sim (Node.sim node);
+      metrics;
+      mh =
+        {
+          h_tx_datagrams = counter "ip.tx_datagrams";
+          h_tx_frames = counter "ip.tx_frames";
+          h_rx_datagrams = counter "ip.rx_datagrams";
+          h_interrupts = counter "ip.interrupts";
+          h_frames_per_interrupt = histogram "ip.frames_per_interrupt";
+        };
       trace = Trace.for_sim (Node.sim node);
       handler = (fun ~src:_ _ -> ());
       pending = Queue.create ();

@@ -29,12 +29,24 @@ type udp_sock = {
   mutable u_drops : int;
 }
 
+type handles = {
+  h_syscalls : Stats.Counter.t;
+  h_tx_segments : Stats.Counter.t;
+  h_rsts_sent : Stats.Counter.t;
+  h_syn_backlog_drops : Stats.Counter.t;
+  h_rx_segments : Stats.Counter.t;
+  h_udp_rx_datagrams : Stats.Counter.t;
+  h_tcp_retransmits : Stats.Counter.t;
+  h_tcp_aborts : Stats.Counter.t;
+}
+
 type t = {
   node : Node.t;
   cpu : Resource.t;
   config : Config.t;
   ip : Ip.t;
   metrics : Metrics.t;
+  mh : handles;
   trace : Trace.t;
   conns : (int * int * int, Tcp_conn.t) Hashtbl.t;
   listeners : (int, listener) Hashtbl.t;
@@ -60,7 +72,7 @@ let conn_key ~local_port ~remote:(r : addr) = (local_port, r.node, r.port)
    crossings per node — the per-byte contrast with the user-level
    substrate is the paper's central claim. *)
 let syscall t name =
-  Metrics.incr t.metrics ~node:(node_id t) "os.syscalls";
+  Stats.Counter.incr t.mh.h_syscalls;
   Trace.instant t.trace ~layer:Trace.Tcpip ~node:(node_id t) "os.syscall"
     ~args:[ ("call", name) ];
   Os.syscall (Node.os t.node)
@@ -72,7 +84,7 @@ let env_of t =
     config = t.config;
     ip_send =
       (fun ~dst seg ->
-        Metrics.incr t.metrics ~node:(node_id t) "tcp.tx_segments";
+        Stats.Counter.incr t.mh.h_tx_segments;
         Ip.send t.ip ~dst (Segment.Tcp seg));
     unregister =
       (fun c ->
@@ -83,11 +95,14 @@ let env_of t =
         | Some c' when c' == c -> Hashtbl.remove t.conns key
         | _ -> ()));
     notify = (fun () -> Cond.broadcast t.activity);
+    h_retransmits = t.mh.h_tcp_retransmits;
+    h_aborts = t.mh.h_tcp_aborts;
+    h_syscalls = t.mh.h_syscalls;
   }
 
 let send_rst t ~dst (seg : Segment.tcp_segment) =
   t.rsts_sent <- t.rsts_sent + 1;
-  Metrics.incr t.metrics ~node:(node_id t) "tcp.rsts_sent";
+  Stats.Counter.incr t.mh.h_rsts_sent;
   let rst =
     {
       Segment.src_port = seg.Segment.dst_port;
@@ -125,11 +140,11 @@ let handle_syn t ~src (seg : Segment.tcp_segment) =
   | Some _ ->
     (* Backlog full: drop the SYN; the client retries. The counter is
        the accept-path pressure signal the --metrics dump surfaces. *)
-    Metrics.incr t.metrics ~node:(node_id t) "tcp.syn_backlog_drops"
+    Stats.Counter.incr t.mh.h_syn_backlog_drops
   | None -> send_rst t ~dst:src seg
 
 let tcp_input t ~src (seg : Segment.tcp_segment) =
-  Metrics.incr t.metrics ~node:(node_id t) "tcp.rx_segments";
+  Stats.Counter.incr t.mh.h_rx_segments;
   Trace.instant t.trace ~layer:Trace.Tcpip ~node:(node_id t)
     ~seq:seg.Segment.seq "tcp.rx_segment"
     ~args:[ ("src", string_of_int src);
@@ -144,7 +159,7 @@ let tcp_input t ~src (seg : Segment.tcp_segment) =
     else if not seg.Segment.flags.Segment.rst then send_rst t ~dst:src seg
 
 let udp_input t ~src (d : Segment.udp_datagram) =
-  Metrics.incr t.metrics ~node:(node_id t) "udp.rx_datagrams";
+  Stats.Counter.incr t.mh.h_udp_rx_datagrams;
   Resource.use t.cpu (model t).Cost_model.tcp_rx_per_segment;
   match Hashtbl.find_opt t.udp_socks d.Segment.u_dst_port with
   | None -> () (* no ICMP in this model *)
@@ -162,6 +177,8 @@ let udp_input t ~src (d : Segment.udp_datagram) =
 
 let create node nic ~config =
   let cpu = Resource.create (Node.sim node) ~name:(Printf.sprintf "kcpu-%d" (Node.id node)) in
+  let metrics = Metrics.for_sim (Node.sim node) in
+  let counter name = Metrics.counter metrics ~node:(Node.id node) name in
   let ip = Ip.create node nic ~cpu ~config in
   let t =
     {
@@ -169,7 +186,18 @@ let create node nic ~config =
       cpu;
       config;
       ip;
-      metrics = Metrics.for_sim (Node.sim node);
+      metrics;
+      mh =
+        {
+          h_syscalls = counter "os.syscalls";
+          h_tx_segments = counter "tcp.tx_segments";
+          h_rsts_sent = counter "tcp.rsts_sent";
+          h_syn_backlog_drops = counter "tcp.syn_backlog_drops";
+          h_rx_segments = counter "tcp.rx_segments";
+          h_udp_rx_datagrams = counter "udp.rx_datagrams";
+          h_tcp_retransmits = counter "tcp.retransmits";
+          h_tcp_aborts = counter "tcp.aborts";
+        };
       trace = Trace.for_sim (Node.sim node);
       conns = Hashtbl.create 64;
       listeners = Hashtbl.create 16;

@@ -86,6 +86,10 @@ and env = {
   ip_send : dst:int -> Segment.tcp_segment -> unit;
   unregister : t -> unit;
   notify : unit -> unit;  (* select() activity hook *)
+  (* node-wide metric handles, resolved once by the kernel *)
+  h_retransmits : Stats.Counter.t;
+  h_aborts : Stats.Counter.t;
+  h_syscalls : Stats.Counter.t;
 }
 
 let sim t = Node.sim t.env.node
@@ -249,9 +253,7 @@ let can_send_fin t =
 let rewind t =
   if in_flight t > 0 then begin
     t.retransmits <- t.retransmits + 1;
-    Metrics.incr
-      (Metrics.for_sim (sim t))
-      ~node:(Node.id t.env.node) "tcp.retransmits";
+    Stats.Counter.incr t.env.h_retransmits;
     on_loss t;
     (* Go-back-N: resend from the cumulative ack point. FIN, if it was
        sent, will be re-emitted after the data. *)
@@ -267,9 +269,7 @@ let rewind t =
 let abort t =
   if not t.aborted then begin
     t.aborted <- true;
-    Metrics.incr
-      (Metrics.for_sim (sim t))
-      ~node:(Node.id t.env.node) "tcp.aborts";
+    Stats.Counter.incr t.env.h_aborts;
     set_state t Closed_st;
     wake_all t
   end
@@ -504,9 +504,7 @@ let input t (seg : Segment.tcp_segment) =
 exception App_closed = Uls_api.Sockets_api.Connection_closed
 
 let syscall t =
-  Metrics.incr
-    (Metrics.for_sim (sim t))
-    ~node:(Node.id t.env.node) "os.syscalls";
+  Stats.Counter.incr t.env.h_syscalls;
   Os.syscall (Node.os t.env.node)
 
 let charge_wakeup t = Sim.delay (sim t) (model t).Cost_model.sched_wakeup

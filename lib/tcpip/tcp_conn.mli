@@ -26,6 +26,10 @@ type env = {
   ip_send : dst:int -> Segment.tcp_segment -> unit;
   unregister : t -> unit;  (** drop from the kernel's connection table *)
   notify : unit -> unit;  (** select() activity hook *)
+  h_retransmits : Uls_engine.Stats.Counter.t;
+      (** node-wide metric handles, resolved once by the kernel *)
+  h_aborts : Uls_engine.Stats.Counter.t;
+  h_syscalls : Uls_engine.Stats.Counter.t;
 }
 
 val connect : env -> local:Uls_api.Sockets_api.addr -> remote:Uls_api.Sockets_api.addr -> t

@@ -56,11 +56,13 @@ let api t : Uls_api.Sockets_api.stack =
   let select ~node streams =
     let k = kernel node in
     let m = Kernel.metrics k in
+    let h_scans = Metrics.counter m ~node "api.select_scans" in
+    let h_scanned = Metrics.counter m ~node "api.select_streams_scanned" in
     let ready () =
       (* Same O(registered) scan counters as the substrate select, so
          evq-vs-select comparisons work on either stack. *)
-      Metrics.incr m ~node "api.select_scans";
-      Metrics.add m ~node "api.select_streams_scanned" (List.length streams);
+      Stats.Counter.incr h_scans;
+      Stats.Counter.add h_scanned (List.length streams);
       List.filter (fun (s : Uls_api.Sockets_api.stream) -> s.readable ()) streams
     in
     let rec wait () =

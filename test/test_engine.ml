@@ -53,6 +53,230 @@ let prop_heap_sorts =
       in
       drain [] = List.sort compare xs)
 
+(* --- Wheel --- *)
+
+(* Elements are (time, pri, seq) triples compared structurally — the
+   exact shape of the sim's tie-break contract. *)
+let wheel_create () =
+  Wheel.create ~dummy:(max_int, 0, 0) ~time:(fun (t, _, _) -> t) ~cmp:compare ()
+
+let wheel_drain w =
+  let rec go acc =
+    match Wheel.pop w with None -> List.rev acc | Some x -> go (x :: acc)
+  in
+  go []
+
+let test_wheel_ordering () =
+  let w = wheel_create () in
+  List.iter (fun t -> Wheel.push w (t, 0, t)) [ 5; 1; 4; 3; 9; 2 ];
+  check_int "length" 6 (Wheel.length w);
+  Alcotest.(check (list int))
+    "sorted drain" [ 1; 2; 3; 4; 5; 9 ]
+    (List.map (fun (t, _, _) -> t) (wheel_drain w));
+  check_bool "empty after drain" true (Wheel.is_empty w)
+
+let test_wheel_overflow () =
+  (* default grain_bits=8: four levels cover 2^40 ns; anything beyond
+     sits in the overflow heap and must migrate back in order *)
+  let times =
+    [ 0; 300; (1 lsl 41) + 5; 1 lsl 50; 700; (1 lsl 40) - 1; 1 lsl 40 ]
+  in
+  let w = wheel_create () in
+  List.iteri (fun i t -> Wheel.push w (t, 0, i)) times;
+  Alcotest.(check (list int))
+    "overflow timers drain in time order"
+    (List.sort compare times)
+    (List.map (fun (t, _, _) -> t) (wheel_drain w))
+
+let test_wheel_late_insert_after_peek () =
+  let w = wheel_create () in
+  Wheel.push w (1_000_000, 0, 1);
+  (match Wheel.peek w with
+  | Some (1_000_000, _, _) -> ()
+  | _ -> Alcotest.fail "peek");
+  (* the peek advanced the internal cursor to the far slot; an insert
+     below it (but at/after the last extraction, per the Sim contract)
+     must still dispatch first *)
+  Wheel.push w (10, 0, 2);
+  Alcotest.(check (list int))
+    "earlier late insert dispatches first" [ 10; 1_000_000 ]
+    (List.map (fun (t, _, _) -> t) (wheel_drain w))
+
+(* Regression: a window-exhausted crossing whose new base coincides with
+   slot boundaries at several levels at once. The cursor enters a new
+   level-2 slot exactly when a level-0 window ends at the 2^24 edge;
+   cascading only the immediate parent left the level-2 slot's contents
+   parked until the wheel wrapped (~seconds late), and a higher cascade
+   feeding [cur] directly could end the advance before the wrapped,
+   now-due level-0 cursor-slot entries were scanned. Observed as
+   out-of-order dispatch in the serve smoke under [--sched wheel]. *)
+let test_wheel_coincident_boundary () =
+  let w = wheel_create () in
+  let m = 1 lsl 24 in
+  (* parked early in level-2 slot 1 *)
+  Wheel.push w (m + 100, 0, 1);
+  (* walk the cursor to the last level-0 window before the 2^24 edge *)
+  Wheel.push w (m - 512, 0, 2);
+  (match Wheel.pop w with
+  | Some (t, _, _) when t = m - 512 -> ()
+  | _ -> Alcotest.fail "setup pop 1");
+  Wheel.push w (m - 256, 0, 3);
+  (match Wheel.pop w with
+  | Some (t, _, _) when t = m - 256 -> ()
+  | _ -> Alcotest.fail "setup pop 2");
+  (* a wrapped level-0 entry just past the edge, and a level-1 entry
+     further out that would pull the cursor over the parked element *)
+  Wheel.push w (m + 16, 0, 4);
+  Wheel.push w (m + (5 * 65536), 0, 5);
+  Alcotest.(check (list int))
+    "crossing the 2^24 edge dispatches every level in order"
+    [ m + 16; m + 100; m + (5 * 65536) ]
+    (List.map (fun (t, _, _) -> t) (wheel_drain w))
+
+(* Pinned-seed heap-vs-wheel parity: random schedule/cancel/advance ops
+   must yield identical dispatch sequences on both structures, under
+   FIFO (pri always 0) and shuffled (random pri) tie-breaks. Cancelled
+   elements stay queued (the sim cancels by defusing the closure) and
+   are filtered from the dispatch log on extraction. *)
+let wheel_heap_parity ~shuffled seed =
+  let rng = Rng.create ~seed in
+  let h = Heap.create ~cmp:compare in
+  let w = wheel_create () in
+  let seqr = ref 0 in
+  let nowr = ref 0 in
+  let live = ref [] in
+  let cancelled = Hashtbl.create 64 in
+  let dispatched_h = ref [] in
+  let dispatched_w = ref [] in
+  let pop_both () =
+    match (Heap.pop h, Wheel.pop w) with
+    | None, None -> ()
+    | Some a, Some b ->
+      if a <> b then
+        Alcotest.failf "seed %d: heap %s vs wheel %s" seed
+          (let t, p, s = a in Printf.sprintf "(%d,%d,%d)" t p s)
+          (let t, p, s = b in Printf.sprintf "(%d,%d,%d)" t p s);
+      let t, _, s = a in
+      nowr := t;
+      live := List.filter (fun s' -> s' <> s) !live;
+      if not (Hashtbl.mem cancelled s) then begin
+        dispatched_h := a :: !dispatched_h;
+        dispatched_w := b :: !dispatched_w
+      end
+    | _ -> Alcotest.failf "seed %d: one structure drained early" seed
+  in
+  for _ = 1 to 3000 do
+    let op = Rng.int rng 100 in
+    if op < 60 || Heap.length h = 0 then begin
+      (* schedule at/after the last dispatch time (the Sim contract),
+         spread from same-slot to overflow-level deltas *)
+      let delta =
+        match Rng.int rng 10 with
+        | 0 -> 0
+        | 1 | 2 | 3 -> Rng.int rng 1_000
+        | 4 | 5 | 6 -> Rng.int rng 1_000_000
+        | 7 | 8 -> Rng.int rng (1 lsl 30)
+        | _ -> (1 lsl 40) + Rng.int rng (1 lsl 44)
+      in
+      incr seqr;
+      let pri = if shuffled then Rng.int rng 0x4000_0000 else 0 in
+      let e = (!nowr + delta, pri, !seqr) in
+      Heap.push h e;
+      Wheel.push w e;
+      live := !seqr :: !live
+    end
+    else if op < 70 && !live <> [] then
+      (* cancel a random outstanding element *)
+      let victim = List.nth !live (Rng.int rng (List.length !live)) in
+      Hashtbl.replace cancelled victim ()
+    else if op < 75 then begin
+      (* peek (advances the wheel cursor) without extracting *)
+      match (Heap.peek h, Wheel.peek w) with
+      | None, None -> ()
+      | Some a, Some b when a = b -> ()
+      | _ -> Alcotest.failf "seed %d: peek mismatch" seed
+    end
+    else pop_both ()
+  done;
+  while Heap.length h > 0 || not (Wheel.is_empty w) do
+    pop_both ()
+  done;
+  check_bool "identical dispatch sequences" true
+    (!dispatched_h = !dispatched_w);
+  check_int "lengths agree" 0 (Wheel.length w)
+
+let test_wheel_parity_fifo () =
+  List.iter (wheel_heap_parity ~shuffled:false) [ 1; 2; 3; 4; 5 ]
+
+let test_wheel_parity_shuffled () =
+  List.iter (wheel_heap_parity ~shuffled:true) [ 11; 12; 13; 14; 15 ]
+
+(* --- Retention regressions --- *)
+
+let weak_of x =
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some x);
+  w
+
+let test_vec_pop_retention () =
+  let v = Vec.create () in
+  (* pop-to-empty: the regression — the last element used to stay
+     pinned by the backing array forever *)
+  let w1 =
+    let x = Bytes.create 32 in
+    Vec.push v x;
+    weak_of x
+  in
+  ignore (Sys.opaque_identity (Vec.pop v));
+  Gc.full_major ();
+  check_bool "pop-to-empty releases element" false (Weak.check w1 0);
+  (* ordinary pop: the vacated slot must not retain either *)
+  let w2 =
+    let x = Bytes.create 32 in
+    Vec.push v (Bytes.create 1);
+    Vec.push v x;
+    weak_of x
+  in
+  ignore (Sys.opaque_identity (Vec.pop v));
+  Gc.full_major ();
+  check_bool "pop releases vacated slot" false (Weak.check w2 0);
+  (* keep the vec reachable across the GC, or the checks test nothing *)
+  check_int "survivor count" 1 (Vec.length v)
+
+let test_vec_truncate_retention () =
+  let v = Vec.create () in
+  let ws =
+    Array.init 4 (fun _ ->
+        let x = Bytes.create 8 in
+        Vec.push v x;
+        weak_of x)
+  in
+  Vec.truncate v 1;
+  Gc.full_major ();
+  check_bool "kept element survives" true (Weak.check ws.(0) 0);
+  for i = 1 to 3 do
+    check_bool "truncated tail released" false (Weak.check ws.(i) 0)
+  done;
+  (* keep the vec reachable across the GC, or the checks test nothing *)
+  check_int "survivor count" 1 (Vec.length v)
+
+let test_sim_task_release () =
+  (* a dispatched task's closure (and its captures) must be collectable
+     on both schedulers: the pooled cell defuses [run] on dispatch and
+     heap/wheel storage overwrites vacated slots *)
+  List.iter
+    (fun sched ->
+      let sim = Sim.create ~sched () in
+      let w =
+        let payload = Bytes.create 64 in
+        Sim.at sim 5 (fun () -> ignore (Sys.opaque_identity payload));
+        weak_of payload
+      in
+      ignore (Sim.run sim);
+      Gc.full_major ();
+      check_bool "dispatched closure released" false (Weak.check w 0))
+    [ `Heap; `Wheel ]
+
 (* --- Sim basics --- *)
 
 let test_sim_delay_ordering () =
@@ -490,6 +714,75 @@ let test_time_mbps () =
   Alcotest.(check (float 1e-6)) "mbps" 1000.
     (Time.mbps ~bytes_transferred:1250 ~elapsed:10_000)
 
+(* --- Per-sim registry eviction --- *)
+
+(* In its own function so the sim is unreachable when it returns. *)
+let make_dead_sim () =
+  let sim = Sim.create () in
+  Metrics.incr (Metrics.for_sim sim) "dead.counter";
+  ignore (Trace.for_sim sim);
+  ignore (Invariant.for_sim sim)
+
+let test_registry_eviction () =
+  Gc.full_major ();
+  let bm = Metrics.registered_sims () in
+  let bt = Trace.registered_sims () in
+  let bi = Invariant.registered_sims () in
+  for _ = 1 to 32 do
+    make_dead_sim ()
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  check_int "metrics entries evicted" bm (Metrics.registered_sims ());
+  check_int "trace entries evicted" bt (Trace.registered_sims ());
+  check_int "invariant entries evicted" bi (Invariant.registered_sims ());
+  (* while a sim is live its registry must survive collection *)
+  let sim = Sim.create () in
+  Metrics.incr (Metrics.for_sim sim) "keep";
+  Gc.full_major ();
+  check_int "live sim keeps its registry" 1
+    (Metrics.counter_value (Metrics.for_sim sim) "keep")
+
+(* --- Sim heap-vs-wheel dispatch parity --- *)
+
+(* A program with same-time collisions, fiber suspends, a time-limited
+   run/resume, and a far-future timer (overflow level under `Wheel).
+   The full dispatch log must be byte-identical across schedulers for
+   both tie-break policies. *)
+let sim_parity_run ~sched ~tiebreak =
+  let sim = Sim.create ~sched () in
+  Sim.set_tiebreak sim tiebreak;
+  let log = Buffer.create 1024 in
+  for i = 1 to 8 do
+    Sim.spawn sim
+      ~name:(Printf.sprintf "f%d" i)
+      (fun () ->
+        for j = 1 to 40 do
+          Sim.delay sim (i * j mod 7);
+          Buffer.add_string log (Printf.sprintf "%d.%d@%d;" i j (Sim.now sim))
+        done)
+  done;
+  Sim.at sim 100 (fun () -> Buffer.add_string log "at100;");
+  Sim.at sim (1 lsl 42) (fun () -> Buffer.add_string log "far;");
+  (match Sim.run ~until:50 sim with
+  | `Time_limit -> Buffer.add_string log "limit;"
+  | _ -> Alcotest.fail "expected `Time_limit");
+  (* schedule below the peeked-ahead horizon, then resume *)
+  Sim.at sim (Sim.now sim + 1) (fun () -> Buffer.add_string log "mid;");
+  (match Sim.run sim with
+  | `Quiescent -> ()
+  | _ -> Alcotest.fail "expected `Quiescent");
+  (Buffer.contents log, Sim.events_executed sim)
+
+let test_sim_sched_parity () =
+  List.iter
+    (fun tiebreak ->
+      let lh, eh = sim_parity_run ~sched:`Heap ~tiebreak in
+      let lw, ew = sim_parity_run ~sched:`Wheel ~tiebreak in
+      Alcotest.(check string) "dispatch log identical" lh lw;
+      check_int "events executed identical" eh ew)
+    [ `Fifo; `Seeded_shuffle 42 ]
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
 
 let suites =
@@ -499,10 +792,26 @@ let suites =
         Alcotest.test_case "push/pop" `Quick test_vec_push_pop;
         Alcotest.test_case "bounds" `Quick test_vec_bounds;
         Alcotest.test_case "sort" `Quick test_vec_sort;
+        Alcotest.test_case "pop retention" `Quick test_vec_pop_retention;
+        Alcotest.test_case "truncate retention" `Quick
+          test_vec_truncate_retention;
       ] );
     ( "engine.heap",
       Alcotest.test_case "ordering" `Quick test_heap_ordering
       :: qsuite [ prop_heap_sorts ] );
+    ( "engine.wheel",
+      [
+        Alcotest.test_case "ordering" `Quick test_wheel_ordering;
+        Alcotest.test_case "overflow far-future timers" `Quick
+          test_wheel_overflow;
+        Alcotest.test_case "late insert after peek" `Quick
+          test_wheel_late_insert_after_peek;
+        Alcotest.test_case "coincident multi-level boundary crossing" `Quick
+          test_wheel_coincident_boundary;
+        Alcotest.test_case "heap parity (fifo)" `Quick test_wheel_parity_fifo;
+        Alcotest.test_case "heap parity (shuffled)" `Quick
+          test_wheel_parity_shuffled;
+      ] );
     ( "engine.sim",
       [
         Alcotest.test_case "delay ordering" `Quick test_sim_delay_ordering;
@@ -512,6 +821,9 @@ let suites =
         Alcotest.test_case "fiber failure" `Quick test_sim_fiber_failure;
         Alcotest.test_case "no past scheduling" `Quick
           test_sim_past_scheduling_rejected;
+        Alcotest.test_case "heap/wheel dispatch parity" `Quick
+          test_sim_sched_parity;
+        Alcotest.test_case "task cells released" `Quick test_sim_task_release;
       ] );
     ( "engine.cond",
       [
@@ -552,6 +864,8 @@ let suites =
         Alcotest.test_case "reset" `Quick test_metrics_reset;
         Alcotest.test_case "per-sim registry" `Quick
           test_metrics_per_sim_registry;
+        Alcotest.test_case "dead-sim registry eviction" `Quick
+          test_registry_eviction;
       ] );
     ( "engine.trace-events",
       [
