@@ -1213,6 +1213,368 @@ let engine_cmd =
           fabric-65536), binary heap vs hierarchical timing wheel")
     Term.(const run $ json $ check $ baseline)
 
+(* --- rings: firehose + storm ------------------------------------------- *)
+
+let busy_poll_flag =
+  Arg.(value & flag & info [ "busy-poll" ]
+         ~doc:"Endpoint tx ring in busy-poll mode: the NIC-side fetch \
+               loop spins instead of sleeping between doorbells.")
+
+let batch_flag default =
+  Arg.(value & opt int default
+       & info [ "batch" ] ~docv:"N"
+           ~doc:"Submission batch depth: descriptors per doorbell. \
+                 $(b,1) is the per-call ablation (byte-identical to the \
+                 pre-ring path).")
+
+let firehose_cmd =
+  let open Uls_bench in
+  let d = Firehose.default in
+  let sinks =
+    Arg.(value & opt int d.Firehose.sinks
+         & info [ "sinks" ] ~docv:"N" ~doc:"Sink nodes (source is node 0).")
+  in
+  let count =
+    Arg.(value & opt int d.Firehose.count
+         & info [ "count" ] ~docv:"N" ~doc:"Messages per sink.")
+  in
+  let size =
+    Arg.(value & opt int d.Firehose.size
+         & info [ "size" ] ~docv:"BYTES" ~doc:"Payload bytes per message.")
+  in
+  let seed =
+    Arg.(value & opt int d.Firehose.seed & info [ "seed" ] ~doc:"RNG seed.")
+  in
+  let loss =
+    Arg.(value & opt float 0.
+         & info [ "loss" ] ~docv:"P"
+             ~doc:"Uniform frame-loss probability (the rings chaos leg).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Append a JSON record to BENCH_rings.json.")
+  in
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"CI gate: pinned-seed runs must be intact and \
+                 deterministic, batch=32 must reach at least 2x the \
+                 batch=1 pps on the small-message shape, the NIC \
+                 doorbell/mailbox-fetch audit pair must agree, the 2% \
+                 loss chaos leg must stay byte-exact, and pps must not \
+                 regress below 80% of the committed baseline.")
+  in
+  let baseline =
+    Arg.(value & opt string "BENCH_rings.json"
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Committed pinned-seed baseline the --check gate reads.")
+  in
+  let firehose_json (cfg : Firehose.config) (r : Firehose.report) =
+    emit_json ~file:"BENCH_rings.json"
+      [
+        ("bench", json_str "firehose");
+        ("match",
+         json_str (Uls_nic.Match_list.engine_name cfg.Firehose.match_engine));
+        ("sched", json_str (sched_name cfg.Firehose.event_sched));
+        ("sinks", json_int cfg.Firehose.sinks);
+        ("count", json_int cfg.Firehose.count);
+        ("size", json_int cfg.Firehose.size);
+        ("batch", json_int cfg.Firehose.batch);
+        ("busy_poll", json_bool cfg.Firehose.busy_poll);
+        ("seed", json_int cfg.Firehose.seed);
+        ("loss", json_float cfg.Firehose.loss);
+        ("messages", json_int r.Firehose.messages);
+        ("delivered", json_int r.Firehose.delivered);
+        ("mismatches", json_int r.Firehose.mismatches);
+        ("elapsed_ms", json_float r.Firehose.elapsed_ms);
+        ("pps", json_float r.Firehose.pps);
+        ("mbps", json_float r.Firehose.mbps);
+        ("doorbells", json_int r.Firehose.doorbells);
+        ("mailbox_fetches", json_int r.Firehose.mailbox_fetches);
+        ("ring_submitted", json_int r.Firehose.ring_submitted);
+        ("ring_doorbells", json_int r.Firehose.ring_doorbells);
+        ("faults", json_int r.Firehose.faults_injected);
+        ("retransmits", json_int r.Firehose.retransmits);
+        ("intact", json_bool r.Firehose.intact);
+        ("completed_run", json_bool r.Firehose.completed_run);
+      ]
+  in
+  let run sinks count size batch busy_poll seed loss match_engine event_sched
+      metrics json check baseline_file =
+    let on_metrics = if metrics then Some dump_metrics else None in
+    let run_one cfg =
+      let r = Firehose.run ?on_metrics cfg in
+      Firehose.print_report Format.std_formatter cfg r;
+      r
+    in
+    let cfg =
+      {
+        Firehose.sinks;
+        count;
+        size;
+        batch;
+        busy_poll;
+        seed;
+        loss;
+        match_engine;
+        event_sched;
+      }
+    in
+    if check then begin
+      let failures = ref 0 in
+      let fail fmt =
+        Printf.ksprintf
+          (fun msg ->
+            Printf.eprintf "ulsbench firehose --check: %s\n" msg;
+            incr failures)
+          fmt
+      in
+      let gate_cfg =
+        { Firehose.default with Firehose.match_engine; event_sched }
+      in
+      let sane tag (r : Firehose.report) =
+        if not (r.Firehose.completed_run && r.Firehose.intact) then
+          fail "%s: run incomplete or corrupt (%d/%d delivered, %d \
+                mismatches)"
+            tag r.Firehose.delivered r.Firehose.messages
+            r.Firehose.mismatches
+      in
+      (* Doorbell audit: once a run drains, every NIC mailbox fetch must
+         be explained by a doorbell — the metric pair that caught the TX
+         double-charge. At batch depth > 1 a doorbell rung while the
+         firmware is mid-fetch coalesces into that fetch, so doorbells
+         may lead fetches by a handful; a fetch with no doorbell (or a
+         large gap) still fails. Batch=1 serialises doorbell/fetch pairs
+         and must agree exactly. *)
+      let audit ?(exact = false) tag (r : Firehose.report) =
+        let d = r.Firehose.doorbells and f = r.Firehose.mailbox_fetches in
+        let bad = if exact then d <> f else f > d || d - f > 16 in
+        if bad then
+          fail "%s: doorbell audit: %d doorbells vs %d mailbox fetches"
+            tag d f
+      in
+      let r32 = run_one { gate_cfg with Firehose.batch = 32 } in
+      sane "batch=32" r32;
+      audit "batch=32" r32;
+      let r1 = run_one { gate_cfg with Firehose.batch = 1 } in
+      sane "batch=1" r1;
+      audit ~exact:true "batch=1" r1;
+      (* The tentpole claim: one doorbell per batch must show up as
+         small-message throughput. *)
+      if r1.Firehose.pps > 0. && r32.Firehose.pps < 2.0 *. r1.Firehose.pps
+      then
+        fail "batch=32 pps %.0f < 2x batch=1 pps %.0f" r32.Firehose.pps
+          r1.Firehose.pps;
+      (* Busy-poll delivers the same bytes without any doorbells. *)
+      let rbp =
+        run_one { gate_cfg with Firehose.batch = 32; busy_poll = true }
+      in
+      sane "busy-poll" rbp;
+      if rbp.Firehose.ring_doorbells <> 0 then
+        fail "busy-poll: tx ring rang %d doorbells"
+          rbp.Firehose.ring_doorbells;
+      if rbp.Firehose.delivered <> r32.Firehose.delivered then
+        fail "busy-poll delivered %d, wakeup delivered %d"
+          rbp.Firehose.delivered r32.Firehose.delivered;
+      (* Chaos leg: 2% uniform loss, still byte-exact. *)
+      let rloss =
+        run_one { gate_cfg with Firehose.batch = 32; loss = 0.02 }
+      in
+      sane "loss=0.02" rloss;
+      if rloss.Firehose.faults_injected = 0 then
+        fail "loss=0.02: fault engine injected nothing";
+      (* Determinism: same config, byte-identical report. *)
+      let a = Firehose.run { gate_cfg with Firehose.batch = 32 } in
+      if a <> r32 then fail "batch=32 seeded runs diverged";
+      (* Baseline gate: pps is virtual-time throughput — deterministic —
+         so a regression below 80% of the committed record is a real
+         cost-model or path regression, not machine noise. *)
+      let base = read_records baseline_file in
+      let base_pps =
+        List.fold_left
+          (fun acc r ->
+            match
+              ( List.assoc_opt "bench" r,
+                List.assoc_opt "batch" r,
+                List.assoc_opt "size" r,
+                List.assoc_opt "busy_poll" r,
+                List.assoc_opt "loss" r,
+                List.assoc_opt "pps" r )
+            with
+            | ( Some "firehose",
+                Some "32",
+                Some s,
+                Some "false",
+                Some l,
+                Some pps )
+              when int_of_string s = gate_cfg.Firehose.size
+                   && float_of_string l = 0. ->
+              Some (float_of_string pps)
+            | _ -> acc)
+          None base
+      in
+      (match base_pps with
+      | None ->
+        Printf.printf
+          "firehose --check: no baseline record in %s; skipping baseline \
+           gate\n"
+          baseline_file
+      | Some b ->
+        if b > 0. && r32.Firehose.pps < 0.8 *. b then
+          fail "batch=32 pps %.0f below 80%% of baseline %.0f"
+            r32.Firehose.pps b);
+      if !failures > 0 then begin
+        Printf.eprintf "ulsbench firehose --check: %d failure(s)\n"
+          !failures;
+        exit 1
+      end;
+      print_endline "firehose check: ok"
+    end
+    else begin
+      let r = run_one cfg in
+      if json then firehose_json cfg r;
+      if not (r.Firehose.completed_run && r.Firehose.intact) then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "firehose"
+       ~doc:
+         "Small-message datagram firehose through the ring-based batched \
+          I/O subsystem: one source sprays patterned datagrams at N \
+          sinks, one doorbell per --batch submissions; prints pps and \
+          the NIC doorbell/fetch audit pair")
+    Term.(const run $ sinks $ count $ size $ batch_flag d.Firehose.batch
+          $ busy_poll_flag $ seed $ loss $ match_engine_flag
+          $ sched_flag `Wheel $ metrics_flag $ json $ check $ baseline)
+
+let storm_cmd =
+  let open Uls_bench in
+  let d = Storm.default in
+  let scanners =
+    Arg.(value & opt int d.Storm.scanners
+         & info [ "scanners" ] ~docv:"N" ~doc:"Scanner (prober) nodes.")
+  in
+  let targets =
+    Arg.(value & opt int d.Storm.targets
+         & info [ "targets" ] ~docv:"N" ~doc:"Target (listener) nodes.")
+  in
+  let window =
+    Arg.(value & opt int d.Storm.window
+         & info [ "window" ] ~docv:"W"
+             ~doc:"Probe slots (concurrent probes) per scanner.")
+  in
+  let probes =
+    Arg.(value & opt int d.Storm.probes
+         & info [ "probes" ] ~docv:"N" ~doc:"Probes per scanner.")
+  in
+  let backlog =
+    Arg.(value & opt int d.Storm.backlog
+         & info [ "backlog" ] ~docv:"N" ~doc:"Per-target listen backlog.")
+  in
+  let seed =
+    Arg.(value & opt int d.Storm.seed & info [ "seed" ] ~doc:"RNG seed.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Append a JSON record to BENCH_rings.json.")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"CI mode: pinned-seed batch=32 and batch=1 runs plus a \
+                 determinism double-run; non-zero exit on any hang, \
+                 unanswered probe, refusal or divergence.")
+  in
+  let storm_json (cfg : Storm.config) (r : Storm.report) =
+    emit_json ~file:"BENCH_rings.json"
+      [
+        ("bench", json_str "storm");
+        ("match",
+         json_str (Uls_nic.Match_list.engine_name cfg.Storm.match_engine));
+        ("sched", json_str (sched_name cfg.Storm.event_sched));
+        ("scanners", json_int cfg.Storm.scanners);
+        ("targets", json_int cfg.Storm.targets);
+        ("window", json_int cfg.Storm.window);
+        ("probes", json_int cfg.Storm.probes);
+        ("batch", json_int cfg.Storm.batch);
+        ("busy_poll", json_bool cfg.Storm.busy_poll);
+        ("seed", json_int cfg.Storm.seed);
+        ("attempts", json_int r.Storm.attempts);
+        ("accepted", json_int r.Storm.accepted);
+        ("refused", json_int r.Storm.refused);
+        ("server_accepts", json_int r.Storm.server_accepts);
+        ("elapsed_ms", json_float r.Storm.elapsed_ms);
+        ("attempts_per_sec", json_float r.Storm.attempts_per_sec);
+        ("mpps", json_float r.Storm.mpps);
+        ("doorbells", json_int r.Storm.doorbells);
+        ("mailbox_fetches", json_int r.Storm.mailbox_fetches);
+        ("intact", json_bool r.Storm.intact);
+        ("completed_run", json_bool r.Storm.completed_run);
+      ]
+  in
+  let run_one cfg =
+    let r = Storm.run cfg in
+    Storm.print_report Format.std_formatter cfg r;
+    r
+  in
+  let run scanners targets window probes batch backlog busy_poll seed
+      match_engine event_sched json smoke =
+    let cfg =
+      {
+        Storm.scanners;
+        targets;
+        window;
+        probes;
+        batch;
+        backlog;
+        busy_poll;
+        seed;
+        match_engine;
+        event_sched;
+      }
+    in
+    if smoke then begin
+      let failures = ref 0 in
+      let gate_cfg = { Storm.default with Storm.match_engine; event_sched } in
+      let check tag (r : Storm.report) =
+        if not (r.Storm.completed_run && r.Storm.intact) then begin
+          Printf.eprintf
+            "ulsbench storm --smoke: %s incomplete or refused (%d/%d \
+             answered, %d refused)\n"
+            tag
+            (r.Storm.accepted + r.Storm.refused)
+            r.Storm.attempts r.Storm.refused;
+          incr failures
+        end
+      in
+      let r32 = run_one { gate_cfg with Storm.batch = 32 } in
+      check "batch=32" r32;
+      check "batch=1" (run_one { gate_cfg with Storm.batch = 1 });
+      let a = Storm.run { gate_cfg with Storm.batch = 32 } in
+      if a <> r32 then begin
+        prerr_endline "ulsbench storm --smoke: seeded runs diverged";
+        incr failures
+      end;
+      if !failures > 0 then begin
+        Printf.eprintf "ulsbench storm --smoke: %d failure(s)\n" !failures;
+        exit 1
+      end;
+      print_endline "storm smoke: ok"
+    end
+    else begin
+      let r = run_one cfg in
+      if json then storm_json cfg r;
+      if not (r.Storm.completed_run && r.Storm.intact) then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "storm"
+       ~doc:
+         "ZMap-style connection storm: windowed raw-EMP probe engines \
+          fire batched connection attempts at substrate listeners, one \
+          doorbell per --batch probes; prints connect-attempt rate")
+    Term.(const run $ scanners $ targets $ window $ probes
+          $ batch_flag d.Storm.batch $ backlog $ busy_poll_flag $ seed
+          $ match_engine_flag $ sched_flag `Wheel $ json $ smoke)
+
 (* --- races ------------------------------------------------------------- *)
 
 let races_cmd =
@@ -1314,6 +1676,8 @@ let () =
             collective_cmd;
             chaos_cmd;
             engine_cmd;
+            firehose_cmd;
+            storm_cmd;
             serve_cmd;
             fabric_cmd;
             trace_cmd;

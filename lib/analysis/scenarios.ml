@@ -339,6 +339,87 @@ let fabric_churn ?(sched = `Heap) tiebreak =
     stop = (if r.completed_run then `Quiescent else `Time_limit);
   }
 
+(* --- rings-firehose: two producers, one reaper, one shared tx ring ---
+   Two producer fibers interleave batched submissions ([post_sendv])
+   into the same endpoint submission ring while a single reaper retires
+   completions through the completion ring — the SQ cursor handoff,
+   doorbell arming and CQ reaping are exactly the shared state the
+   shuffle perturbs. Every message is tag-addressed, so a cross-producer
+   descriptor mixup surfaces as a digest mismatch at the receiver.
+   Doorbell/fetch-batch counts are schedule-dependent (a doorbell rung
+   mid-fetch coalesces), so the fingerprint takes only the
+   schedule-independent ring facts: submitted and completed. *)
+
+let rings_firehose ?sched tiebreak =
+  let cluster = start ~n:2 ?sched tiebreak in
+  let sim = Cluster.sim cluster in
+  let obs = ref [] in
+  let e0 = Cluster.emp cluster 0 and e1 = Cluster.emp cluster 1 in
+  let producers = 2 and msgs = 24 and batch = 4 and size = 96 in
+  let payload p i =
+    String.init size (fun j ->
+        Char.chr (Char.code 'a' + (((p * 7) + (i * 3) + j) mod 26)))
+  in
+  (* Receiver: one fiber per producer, descriptors pre-posted through
+     the fill ring so no message ever races a missing descriptor. *)
+  for p = 0 to producers - 1 do
+    Sim.spawn sim
+      ~name:(Printf.sprintf "fire-recv-%d" p)
+      (fun () ->
+        let specs =
+          List.init msgs (fun i -> (0, (p * 100) + i, Mem.alloc size, 0, size))
+        in
+        let rvs = E.post_recv_batch e1 specs in
+        List.iteri
+          (fun i rv ->
+            let len, _, _ = E.wait_recv e1 rv in
+            let _, _, reg, _, _ = List.nth specs i in
+            let got = Mem.sub_string reg ~off:0 ~len in
+            obs :=
+              Printf.sprintf "fire p=%d i=%d len=%d ok=%b digest=%s" p i len
+                (got = payload p i) (hex got)
+              :: !obs)
+          rvs)
+  done;
+  let pending = Mailbox.create ~label:"fire-pending" sim in
+  let total = producers * msgs in
+  for p = 0 to producers - 1 do
+    Sim.spawn sim
+      ~name:(Printf.sprintf "fire-prod-%d" p)
+      (fun () ->
+        Sim.delay sim (Time.us 30);
+        let i = ref 0 in
+        while !i < msgs do
+          let k = min batch (msgs - !i) in
+          let specs =
+            List.init k (fun j ->
+                let idx = !i + j in
+                (1, (p * 100) + idx, Mem.of_string (payload p idx), 0, size))
+          in
+          let sends = E.post_sendv e0 specs in
+          List.iter (fun s -> Mailbox.send pending s) sends;
+          i := !i + k
+        done)
+  done;
+  Sim.spawn sim ~name:"fire-reaper" (fun () ->
+      let retired = ref 0 in
+      while !retired < total do
+        let s = Mailbox.recv pending in
+        E.wait_send e0 s;
+        incr retired;
+        ignore (E.reap_sent e0)
+      done;
+      obs := Printf.sprintf "fire reaper retired=%d" !retired :: !obs;
+      match E.tx_ring_stats e0 with
+      | Some s ->
+        obs :=
+          Printf.sprintf "fire ring submitted=%d completed=%d"
+            s.Uls_rings.Ringpair.submitted s.Uls_rings.Ringpair.completed
+          :: !obs
+      | None -> ());
+  let stop = Cluster.run cluster in
+  finish cluster ~conns:(ref []) ~observables:obs stop
+
 (* --- registry --------------------------------------------------------- *)
 
 let clean_suite =
@@ -373,6 +454,13 @@ let clean_suite =
       sc_descr = "raw-EMP grant protocol with per-request grant routing";
       sc_buggy = false;
       sc_run = grant_fixture ~routed:true;
+    };
+    {
+      sc_name = "rings-firehose";
+      sc_descr = "two producers batch-submitting into one shared tx ring, \
+                  one reaper retiring completions";
+      sc_buggy = false;
+      sc_run = rings_firehose;
     };
     {
       sc_name = "fabric-churn";

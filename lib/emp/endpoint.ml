@@ -29,6 +29,8 @@ type send = {
   mutable s_rto : Time.ns;
   mutable s_done : bool;
   mutable s_failed : bool;
+  mutable s_ring : bool;  (* submitted through the tx ring *)
+  mutable s_reaped : bool;  (* completion charge already paid *)
   s_span : int;  (* trace span: open from post to full acknowledgment *)
   s_cond : Cond.t;
 }
@@ -126,6 +128,9 @@ type t = {
      fixed queue and per-message state stays single-fiber. *)
   rx_queues : Uls_ether.Frame.t Mailbox.t array;
   uq_arrival : Cond.t;
+  (* Batched I/O: one submission/completion ring pair per endpoint (the
+     connection group), created on first use. *)
+  mutable tx_ring : (send, send) Uls_rings.Ringpair.t option;
   mutable on_send_failure : dst:int -> tag:int -> retries:int -> unit;
   mutable st_msgs_sent : int;
   mutable st_msgs_recv : int;
@@ -186,7 +191,10 @@ let chunk_of st idx =
 
 let send_frame t st idx =
   let chunk = chunk_of st idx in
-  Tigon.dma t.nic ~bytes:(String.length chunk);
+  (* Ring-submitted sends are gather-DMA: frames queued behind an
+     in-progress transfer ride the burst (no per-frame setup). Mailbox
+     sends keep the one-transaction-per-frame charge. *)
+  Tigon.dma ~pipelined:st.s_ring t.nic ~bytes:(String.length chunk);
   Tigon.tx_work t.nic (model t).Cost_model.nic_tx_per_frame;
   let data =
     {
@@ -210,6 +218,10 @@ let fail_send t st =
     ~args:[ ("outcome", "failed") ]
     st.s_span;
   Cond.broadcast st.s_cond;
+  (if st.s_ring then
+     match t.tx_ring with
+     | Some rp -> Uls_rings.Ringpair.complete rp st
+     | None -> ());
   (* Tell the layer above (the substrate maps the tag back to its
      connection and resets it) — not every failed send has a fiber
      parked in [wait_send] to observe the failure. *)
@@ -218,9 +230,17 @@ let fail_send t st =
 (* The single transmit fiber of a message: streams frames subject to the
    in-flight window, then waits for full acknowledgment, rewinding to the
    cumulative ack (go-back-N) whenever the RTO expires. *)
-let tx_fiber t st () =
+let tx_fiber ?(ring_fed = false) t st () =
   let m = model t in
-  Tigon.tx_work t.nic (m.Cost_model.nic_mailbox_fetch + m.Cost_model.nic_tx_per_msg);
+  (* Ring-fed sends already paid their descriptor fetch as part of the
+     batched [nic_doorbell_batch] + [nic_ring_slot_fetch] charge in the
+     ring's fetch fiber; the fixed-format slot also subsumes the
+     per-message descriptor parse, so nothing more is charged here. *)
+  if not ring_fed then begin
+    Tigon.count_mailbox_fetch t.nic;
+    Tigon.tx_work t.nic
+      (m.Cost_model.nic_mailbox_fetch + m.Cost_model.nic_tx_per_msg)
+  end;
   let give_up () =
     st.s_retries >= t.cfg.max_retries
   in
@@ -264,13 +284,9 @@ let tx_fiber t st () =
   in
   drive ()
 
-let post_send t ~dst ~tag region ~off ~len =
+let make_send t ~dst ~tag region ~off ~len =
   if len < 0 || off < 0 || off + len > Memory.length region then
     invalid_arg "Endpoint.post_send: bad range";
-  let m = model t in
-  Sim.delay (sim t) m.Cost_model.emp_host_post;
-  Os.pin_region (Node.os t.node) region ~off ~len;
-  Sim.delay (sim t) m.Cost_model.pio_write;
   t.next_msg_id <- t.next_msg_id + 1;
   let st =
     {
@@ -287,6 +303,8 @@ let post_send t ~dst ~tag region ~off ~len =
       s_rto = t.cfg.rto;
       s_done = false;
       s_failed = false;
+      s_ring = false;
+      s_reaped = false;
       s_span =
         Trace.span_begin t.trace ~layer:Trace.Emp ~node:(node_id t)
           ~seq:t.next_msg_id "emp.send"
@@ -297,6 +315,16 @@ let post_send t ~dst ~tag region ~off ~len =
   Hashtbl.replace t.active_tx st.s_key st;
   t.st_msgs_sent <- t.st_msgs_sent + 1;
   Stats.Counter.incr t.mh.h_messages_sent;
+  st
+
+let post_send t ~dst ~tag region ~off ~len =
+  if len < 0 || off < 0 || off + len > Memory.length region then
+    invalid_arg "Endpoint.post_send: bad range";
+  let m = model t in
+  Sim.delay (sim t) m.Cost_model.emp_host_post;
+  Os.pin_region (Node.os t.node) region ~off ~len;
+  Tigon.doorbell t.nic;
+  let st = make_send t ~dst ~tag region ~off ~len in
   Sim.spawn (sim t) ~name:"emp-tx" (tx_fiber t st);
   st
 
@@ -307,7 +335,106 @@ let wait_send t st =
   Cond.wait_until st.s_cond (fun () -> st.s_done || st.s_failed);
   if st.s_failed then
     raise (Send_failed { dst = st.s_dst; tag = st.s_tag; retries = st.s_retries });
-  Sim.delay (sim t) (model t).Cost_model.emp_host_reap
+  (* A ring-submitted send may already have been reaped in bulk from the
+     completion ring; don't bill the completion twice. *)
+  if not st.s_reaped then begin
+    st.s_reaped <- true;
+    Sim.delay (sim t) (model t).Cost_model.emp_host_reap
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Batched submission: the per-endpoint tx ring                        *)
+(* ------------------------------------------------------------------ *)
+
+let dummy_send t =
+  {
+    s_key = { Wire.src_node = node_id t; msg_id = -1 };
+    s_dst = -1;
+    s_tag = -1;
+    s_region = Memory.alloc 1;
+    s_off = 0;
+    s_len = 0;
+    s_nframes = 0;
+    s_acked = 0;
+    s_next = 0;
+    s_retries = 0;
+    s_rto = t.cfg.rto;
+    s_done = true;
+    s_failed = false;
+    s_ring = false;
+    s_reaped = true;
+    s_span = 0;
+    s_cond = Cond.create ~label:"emp:send-dummy" (sim t);
+  }
+
+let get_tx_ring ?(mode = Uls_rings.Ringpair.Wakeup) ?(capacity = 1024) t =
+  match t.tx_ring with
+  | Some rp -> rp
+  | None ->
+    let d = dummy_send t in
+    let rp =
+      Uls_rings.Ringpair.create ~mode ~sq_capacity:capacity
+        ~cq_capacity:capacity
+        ~label:(Printf.sprintf "emp%d-txring" (node_id t))
+        ~on_doorbell:(fun () -> Tigon.count_doorbell t.nic)
+        ~on_fetch:(fun _n -> Tigon.count_mailbox_fetch t.nic)
+        ~on_cq_flush:(fun k -> Tigon.dma ~pipelined:true t.nic ~bytes:(8 * k))
+        (sim t) ~model:(model t)
+        ~nic_cpu:(Tigon.tx_cpu t.nic)
+        ~dummy_sub:d ~dummy_comp:d
+        ~consume:(fun st ->
+          Sim.spawn (sim t) ~name:"emp-tx" (tx_fiber ~ring_fed:true t st))
+        ()
+    in
+    t.tx_ring <- Some rp;
+    rp
+
+(* Batched send: one host-post charge and one doorbell for the whole
+   batch; each descriptor is a cached ring-slot write. A singleton batch
+   takes the classic [post_send] path so [--batch 1] reproduces the
+   per-call behaviour byte for byte. *)
+let post_sendv ?mode t specs =
+  match specs with
+  | [] -> []
+  | [ (dst, tag, region, off, len) ] ->
+    [ post_send t ~dst ~tag region ~off ~len ]
+  | _ ->
+    let m = model t in
+    let rp = get_tx_ring ?mode t in
+    Sim.delay (sim t) m.Cost_model.emp_host_post;
+    let sts =
+      List.map
+        (fun (dst, tag, region, off, len) ->
+          if len < 0 || off < 0 || off + len > Memory.length region then
+            invalid_arg "Endpoint.post_sendv: bad range";
+          Os.pin_region (Node.os t.node) region ~off ~len;
+          let st = make_send t ~dst ~tag region ~off ~len in
+          st.s_ring <- true;
+          ignore (Uls_rings.Ringpair.submit rp st : bool);
+          st)
+        specs
+    in
+    Uls_rings.Ringpair.ring_doorbell rp;
+    sts
+
+let reap_sent ?(max = max_int) t =
+  match t.tx_ring with
+  | None -> []
+  | Some rp ->
+    let popped = Uls_rings.Ringpair.reap rp ~max in
+    List.filter
+      (fun st ->
+        if st.s_reaped then false
+        else begin
+          st.s_reaped <- true;
+          true
+        end)
+      popped
+
+let tx_ring_stats t =
+  match t.tx_ring with
+  | None -> None
+  | Some rp -> Some (Uls_rings.Ringpair.stats rp)
 
 (* ------------------------------------------------------------------ *)
 (* Receive side                                                        *)
@@ -393,12 +520,9 @@ let uq_match t ~src ~tag =
   in
   scan 0
 
-let post_recv t ~src ~tag region ~off ~len =
+let make_recv t ~src ~tag region ~off ~len =
   if len < 0 || off < 0 || off + len > Memory.length region then
     invalid_arg "Endpoint.post_recv: bad range";
-  let m = model t in
-  Sim.delay (sim t) m.Cost_model.emp_host_post;
-  Os.pin_region (Node.os t.node) region ~off ~len;
   let r =
     {
       r_want_src = src;
@@ -416,19 +540,75 @@ let post_recv t ~src ~tag region ~off ~len =
     }
   in
   t.st_desc_posted <- t.st_desc_posted + 1;
+  r
+
+let post_recv t ~src ~tag region ~off ~len =
+  if len < 0 || off < 0 || off + len > Memory.length region then
+    invalid_arg "Endpoint.post_recv: bad range";
+  let m = model t in
+  Sim.delay (sim t) m.Cost_model.emp_host_post;
+  Os.pin_region (Node.os t.node) region ~off ~len;
+  let r = make_recv t ~src ~tag region ~off ~len in
   (match uq_match t ~src ~tag with
   | Some slot -> consume_uq t slot r
   | None ->
     Match_list.post t.posted ~src ~tag r;
-    Sim.delay (sim t) m.Cost_model.pio_write;
+    Tigon.doorbell t.nic;
     (* The doorbell lands on the queue that will serve this peer (queue 0
        for wildcard posts — any queue may end up matching it). *)
     let q = if src = -1 then 0 else Tigon.steer t.nic ~flow:src in
+    Tigon.count_mailbox_fetch t.nic;
     ignore
       (Resource.completion_after
          (Tigon.rx_cpu ~queue:q t.nic)
          m.Cost_model.nic_mailbox_fetch));
   r
+
+(* Batched descriptor replenish — the fill-ring path. Descriptors become
+   matchable immediately (same visibility contract as [post_recv]); what
+   batching changes is the cost shape: one host-post charge and one
+   doorbell + [nic_doorbell_batch] mailbox fetch per involved receive
+   queue, with each slot a cached [ring_slot_post] write and a cheap
+   fixed-format [nic_ring_slot_fetch] on the NIC, instead of a
+   [pio_write] + [nic_mailbox_fetch] per descriptor. A singleton batch
+   takes the classic [post_recv] path byte for byte. *)
+let post_recv_batch t specs =
+  match specs with
+  | [] -> []
+  | [ (src, tag, region, off, len) ] ->
+    [ post_recv t ~src ~tag region ~off ~len ]
+  | _ ->
+    let m = model t in
+    Sim.delay (sim t) m.Cost_model.emp_host_post;
+    let queue_counts = Array.make (Tigon.rx_queues t.nic) 0 in
+    let rs =
+      List.map
+        (fun (src, tag, region, off, len) ->
+          Sim.delay (sim t) m.Cost_model.ring_slot_post;
+          Os.pin_region (Node.os t.node) region ~off ~len;
+          let r = make_recv t ~src ~tag region ~off ~len in
+          (match uq_match t ~src ~tag with
+          | Some slot -> consume_uq t slot r
+          | None ->
+            Match_list.post t.posted ~src ~tag r;
+            let q = if src = -1 then 0 else Tigon.steer t.nic ~flow:src in
+            queue_counts.(q) <- queue_counts.(q) + 1);
+          r)
+        specs
+    in
+    Array.iteri
+      (fun q k ->
+        if k > 0 then begin
+          Tigon.doorbell t.nic;
+          Tigon.count_mailbox_fetch t.nic;
+          ignore
+            (Resource.completion_after
+               (Tigon.rx_cpu ~queue:q t.nic)
+               (m.Cost_model.nic_doorbell_batch
+               + (k * m.Cost_model.nic_ring_slot_fetch)))
+        end)
+      queue_counts;
+    rs
 
 let unpost_recv t r =
   if r.r_matched || r.r_done then false
@@ -721,8 +901,13 @@ let rx_ack t ~queue key acked =
       Hashtbl.remove t.active_tx key;
       Trace.span_end t.trace ~layer:Trace.Emp ~node:(node_id t) "emp.send"
         st.s_span;
-      (* Completion notification DMA'd to the host. *)
-      Tigon.dma t.nic ~bytes:8
+      (* Completion notification DMA'd to the host. Ring-submitted
+         sends post to the CQ instead, whose flush fiber coalesces many
+         completion writes into one DMA burst (CQ moderation) — at high
+         completion rates the per-message [dma_setup] vanishes. *)
+      (match (st.s_ring, t.tx_ring) with
+      | true, Some rp -> Uls_rings.Ringpair.complete rp st
+      | _ -> Tigon.dma t.nic ~bytes:8)
     end;
     Cond.broadcast st.s_cond
 
@@ -809,6 +994,7 @@ let create ?(config = default_config) node nic =
             in
             Mailbox.create ~label sim);
       uq_arrival = Cond.create ~label:"emp:uq-arrival" sim;
+      tx_ring = None;
       on_send_failure = (fun ~dst:_ ~tag:_ ~retries:_ -> ());
       st_msgs_sent = 0;
       st_msgs_recv = 0;

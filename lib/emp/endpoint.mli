@@ -59,6 +59,34 @@ val wait_send : t -> send -> unit
 (** Block until fully acknowledged. @raise Send_failed after
     [max_retries] unacknowledged retransmission rounds. *)
 
+(** {1 Batched submission (tx ring)} *)
+
+val get_tx_ring :
+  ?mode:Uls_rings.Ringpair.mode -> ?capacity:int -> t -> (send, send) Uls_rings.Ringpair.t
+(** The endpoint's submission/completion ring pair, created on first
+    use. [mode] and [capacity] only apply at creation; later calls
+    return the existing ring unchanged. *)
+
+val post_sendv :
+  ?mode:Uls_rings.Ringpair.mode ->
+  t ->
+  (int * int * Uls_host.Memory.region * int * int) list ->
+  send list
+(** Batched {!post_send}: each element is [(dst, tag, region, off,
+    len)]. One [emp_host_post] and one doorbell cover the whole batch;
+    each descriptor is a cached [ring_slot_post] write, fetched by the
+    NIC under a single [nic_doorbell_batch] charge. A singleton list
+    degenerates to {!post_send} exactly (the batch=1 ablation is
+    byte-identical to the per-call path). Caller must be a fiber. *)
+
+val reap_sent : ?max:int -> t -> send list
+(** Drain completed ring sends from the completion ring in bulk
+    ([emp_host_reap] for the first + [ring_reap_slot] each additional),
+    non-blocking. Sends already accounted by {!wait_send} are filtered
+    out. Returns [[]] when the endpoint never used the ring. *)
+
+val tx_ring_stats : t -> Uls_rings.Ringpair.stats option
+
 val set_send_failure_handler :
   t -> (dst:int -> tag:int -> retries:int -> unit) -> unit
 (** Called (from the transmit fiber) whenever a posted send exhausts its
@@ -81,6 +109,17 @@ val post_recv :
 (** Post a receive descriptor ([src] and/or [tag] may be [-1] as a
     wildcard). If a matching message already sits complete in the
     unexpected queue it is consumed immediately (host-side copy). *)
+
+val post_recv_batch :
+  t ->
+  (int * int * Uls_host.Memory.region * int * int) list ->
+  recv list
+(** Batched {!post_recv} — the fill-ring path; elements are [(src, tag,
+    region, off, len)]. Descriptors are matchable immediately, exactly
+    as with {!post_recv}; the batch amortizes the host post, the
+    doorbell, and the NIC's descriptor fetch (one [nic_doorbell_batch] +
+    k·[nic_ring_slot_fetch] per involved receive queue). A singleton
+    list degenerates to {!post_recv} exactly. *)
 
 val recv_done : recv -> bool
 val wait_recv : t -> recv -> int * int * int

@@ -33,6 +33,10 @@ type t = {
   tcp_connect_kernel : Uls_engine.Time.ns;
   emp_host_post : Uls_engine.Time.ns;
   emp_host_reap : Uls_engine.Time.ns;
+  nic_doorbell_batch : Uls_engine.Time.ns;
+  nic_ring_slot_fetch : Uls_engine.Time.ns;
+  ring_slot_post : Uls_engine.Time.ns;
+  ring_reap_slot : Uls_engine.Time.ns;
 }
 
 let paper_testbed =
@@ -68,6 +72,10 @@ let paper_testbed =
     tcp_connect_kernel = 40_000;
     emp_host_post = 800;
     emp_host_reap = 1_200;
+    nic_doorbell_batch = 2_000;
+    nic_ring_slot_fetch = 600;
+    ring_slot_post = 150;
+    ring_reap_slot = 100;
   }
 
 let round_ns f = int_of_float (Float.round f)
@@ -75,6 +83,7 @@ let round_ns f = int_of_float (Float.round f)
 let copy_cost t n = round_ns (t.host_copy_ns_per_byte *. float_of_int n)
 
 let dma_cost t n = t.dma_setup + round_ns (t.dma_ns_per_byte *. float_of_int n)
+let dma_stream_cost t n = round_ns (t.dma_ns_per_byte *. float_of_int n)
 
 let pin_cost t ~bytes =
   let pages = (bytes + t.page_size - 1) / t.page_size in

@@ -48,6 +48,21 @@ type t = {
   (* EMP host library *)
   emp_host_post : Uls_engine.Time.ns;  (** descriptor build, user space *)
   emp_host_reap : Uls_engine.Time.ns;  (** completion processing *)
+  (* Submission/completion rings (AF_XDP / io_uring style batched path) *)
+  nic_doorbell_batch : Uls_engine.Time.ns;
+      (** firmware cost to service one doorbell: fetch the mailbox word
+          and locate the submission ring tail — paid once per doorbell,
+          however many descriptors the batch covers *)
+  nic_ring_slot_fetch : Uls_engine.Time.ns;
+      (** DMA-fetch and parse one fixed-format ring descriptor; cheaper
+          than [nic_mailbox_fetch] + [nic_tx_per_msg] because the slot
+          layout is fixed and prefetched in bulk *)
+  ring_slot_post : Uls_engine.Time.ns;
+      (** host cost to write one descriptor into a ring slot — a cached
+          memory write, no MMIO *)
+  ring_reap_slot : Uls_engine.Time.ns;
+      (** host cost per additional completion reaped from a completion
+          ring after the first ([emp_host_reap] covers the first) *)
 }
 
 val paper_testbed : t
@@ -57,6 +72,11 @@ val copy_cost : t -> int -> Uls_engine.Time.ns
 
 val dma_cost : t -> int -> Uls_engine.Time.ns
 (** One DMA transaction moving [n] bytes across the PCI bus. *)
+
+val dma_stream_cost : t -> int -> Uls_engine.Time.ns
+(** Byte time alone for [n] bytes on an already-armed DMA engine — what
+    a transfer pays when it rides a burst pipeline back-to-back behind
+    another, skipping the per-transaction [dma_setup]. *)
 
 val pin_cost : t -> bytes:int -> Uls_engine.Time.ns
 (** Pin-and-translate system call covering [bytes] (page granularity). *)

@@ -27,6 +27,8 @@ type handles = {
   h_rx_crc_drop : Stats.Counter.t;
   h_rx_frames : Stats.Counter.t;
   h_tx_frames : Stats.Counter.t;
+  h_doorbells : Stats.Counter.t;
+  h_mailbox_fetches : Stats.Counter.t;
 }
 
 type t = {
@@ -144,9 +146,11 @@ let fwd_fiber t () =
       | Some _ -> Resource.use t.rx_cpus.(0) m.Cost_model.nic_rx_classify
       | None ->
         (* Host doorbell: the firmware fetches the mailbox word. *)
+        Stats.Counter.incr t.mh.h_mailbox_fetches;
         Resource.use t.rx_cpus.(0) m.Cost_model.nic_mailbox_fetch);
       fwd_match t ~src ~tag frame
     | Fwd_post fwd ->
+      Stats.Counter.incr t.mh.h_mailbox_fetches;
       Resource.use t.rx_cpus.(0) m.Cost_model.nic_mailbox_fetch;
       Match_list.post t.fwd_list ~src:fwd.fwd_src ~tag:fwd.fwd_tag fwd;
       (* Drain collective frames that raced ahead of the descriptor. *)
@@ -172,7 +176,10 @@ let fwd_fiber t () =
             List.iteri
               (fun j e -> if j <> idx then Vec.push t.fwd_pending e)
               (List.rev !keep);
-            Resource.use t.rx_cpus.(0) m.Cost_model.nic_rx_classify;
+            (* No classify charge here: each pending entry already paid
+               its arrival cost (classify or mailbox fetch) when it was
+               queued — re-charging it at drain time double-billed
+               same-tick arrivals. *)
             fwd_match t ~src ~tag frame;
             drain ()
         end
@@ -208,6 +215,8 @@ let create ?(match_engine = Match_list.Linear) sim model net ~node =
           h_rx_crc_drop = counter "nic.rx_crc_drop";
           h_rx_frames = counter "nic.rx_frames";
           h_tx_frames = counter "nic.tx_frames";
+          h_doorbells = counter "nic.doorbells";
+          h_mailbox_fetches = counter "nic.mailbox_fetches";
         };
       trace = Trace.for_sim sim;
       net;
@@ -278,10 +287,31 @@ let tx_work t d =
 let rx_work ?(queue = 0) t d =
   Trace.span t.trace ~layer:Trace.Nic ~node:t.node_id "nic.rx_work" (fun () ->
       Resource.use t.rx_cpus.(queue) d)
-let dma t ~bytes = Resource.use t.dma_engine (Cost_model.dma_cost t.model bytes)
+(* [pipelined] models the gather-DMA behaviour of a descriptor-ring
+   engine: transfers queued while the engine is already busy ride the
+   running burst and skip the per-transaction setup. A transfer that
+   finds the engine idle always pays full [dma_cost], so sparse traffic
+   (and every non-ring path) is charged exactly as before. *)
+let dma ?(pipelined = false) t ~bytes =
+  let cost =
+    if pipelined && Resource.free_at t.dma_engine > Sim.now t.sim then
+      Cost_model.dma_stream_cost t.model bytes
+    else Cost_model.dma_cost t.model bytes
+  in
+  Resource.use t.dma_engine cost
 
-let mailbox_ring t =
-  ignore (Resource.completion_after t.tx_cpu t.model.Cost_model.nic_mailbox_fetch)
+(* Host-side doorbell: one MMIO write over PCI, counted so the
+   doorbells/mailbox-fetches audit can prove each doorbell is fetched
+   exactly once. The firmware pickup charges [nic_mailbox_fetch] itself
+   (see the callers' pickup fibers) — charging the fetch here as well,
+   as the old [mailbox_ring] helper did, double-billed same-tick
+   submissions. *)
+let doorbell t =
+  Sim.delay t.sim t.model.Cost_model.pio_write;
+  Stats.Counter.incr t.mh.h_doorbells
+
+let count_doorbell t = Stats.Counter.incr t.mh.h_doorbells
+let count_mailbox_fetch t = Stats.Counter.incr t.mh.h_mailbox_fetches
 
 let tx_cpu t = t.tx_cpu
 let rx_cpu ?(queue = 0) t = t.rx_cpus.(queue)
@@ -296,7 +326,7 @@ let post_forward t ~src ~tag ~need ?deliver ~emit () =
   if need <= 0 then invalid_arg "Tigon.post_forward: need must be positive";
   (* Host side: build the descriptor and ring the doorbell (a PIO write);
      the firmware picks it up from the mailbox in its own time. *)
-  Sim.delay t.sim t.model.Cost_model.pio_write;
+  doorbell t;
   Mailbox.send t.fwd_queue
     (Fwd_post { fwd_src = src; fwd_tag = tag; fwd_need = need;
                 fwd_emit = emit; fwd_deliver = deliver })
@@ -304,15 +334,16 @@ let post_forward t ~src ~tag ~need ?deliver ~emit () =
 let coll_signal t ~tag =
   (* Host-side arrival (e.g. "this process entered the barrier"): one PIO
      write; counts as a match of the local combine descriptor. *)
-  Sim.delay t.sim t.model.Cost_model.pio_write;
+  doorbell t;
   Mailbox.send t.fwd_queue (Fwd_arrive (t.node_id, tag, None))
 
 let coll_inject t frame =
   (* Root of a NIC-forwarded broadcast: hand a collective frame to the
      firmware for transmission (descriptor write + payload DMA), without
      blocking the caller on the NIC's transmit serialization. *)
-  Sim.delay t.sim t.model.Cost_model.pio_write;
+  doorbell t;
   Sim.spawn t.sim ~name:"nic-coll-inject" (fun () ->
+      Stats.Counter.incr t.mh.h_mailbox_fetches;
       Resource.use t.tx_cpu t.model.Cost_model.nic_mailbox_fetch;
       Resource.use t.dma_engine
         (Cost_model.dma_cost t.model frame.Uls_ether.Frame.payload_len);

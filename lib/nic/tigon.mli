@@ -53,12 +53,29 @@ val tx_work : t -> Uls_engine.Time.ns -> unit
 val rx_work : ?queue:int -> t -> Uls_engine.Time.ns -> unit
 (** Occupy a receive core (default queue 0) for the given time (fiber). *)
 
-val dma : t -> bytes:int -> unit
-(** One DMA transaction over the PCI bus (fiber): setup + per-byte. *)
+val dma : ?pipelined:bool -> t -> bytes:int -> unit
+(** One DMA transaction over the PCI bus (fiber): setup + per-byte.
+    With [~pipelined:true] (ring-fed gather-DMA), a transfer that finds
+    the engine already busy skips [dma_setup] and pays byte time only —
+    it rides the in-progress burst. An idle engine always charges the
+    full setup, so sparse traffic is unchanged. *)
 
-val mailbox_ring : t -> unit
-(** Host doorbell: charge the send core the mailbox-fetch cost
-    asynchronously (does not block the caller). *)
+val doorbell : t -> unit
+(** Host doorbell: one [pio_write] charged to the caller (fiber) and one
+    [nic.doorbells] count. The firmware pickup charges its own
+    [nic_mailbox_fetch] (and bumps [nic.mailbox_fetches]) when it
+    services the mailbox — never here, so a same-tick pickup is charged
+    exactly once. The audit invariant is
+    [nic.doorbells = nic.mailbox_fetches] once a run drains. *)
+
+val count_doorbell : t -> unit
+(** Bump [nic.doorbells] without charging — for the ring path, where
+    {!Uls_rings.Ringpair} charges the PIO itself. *)
+
+val count_mailbox_fetch : t -> unit
+(** Bump [nic.mailbox_fetches] — callers that charge
+    [nic_mailbox_fetch] (or the ring path's [nic_doorbell_batch])
+    directly on a NIC core pair it with this count. *)
 
 val tx_cpu : t -> Uls_engine.Resource.t
 val rx_cpu : ?queue:int -> t -> Uls_engine.Resource.t

@@ -1,0 +1,63 @@
+type 'a t = {
+  mask : int;
+  slots : 'a array;
+  mutable prod : int;
+  mutable cons : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ?(start = 0) ~capacity ~dummy () =
+  if not (is_power_of_two capacity) then
+    invalid_arg "Cursor_ring.create: capacity must be a power of two";
+  { mask = capacity - 1; slots = Array.make capacity dummy; prod = start;
+    cons = start }
+
+let capacity t = t.mask + 1
+
+(* Cursors are free-running and may overflow past max_int; two's
+   complement subtraction keeps the distance exact as long as fewer than
+   2^62 slots are in flight, which the capacity bound guarantees. *)
+let length t = t.prod - t.cons
+
+let is_empty t = t.prod = t.cons
+let is_full t = length t = capacity t
+let prod_cursor t = t.prod
+let cons_cursor t = t.cons
+
+let try_push t x =
+  if is_full t then false
+  else begin
+    t.slots.(t.prod land t.mask) <- x;
+    t.prod <- t.prod + 1;
+    true
+  end
+
+let push_exn t x =
+  if not (try_push t x) then failwith "Cursor_ring.push_exn: ring full"
+
+let try_pop t =
+  if is_empty t then None
+  else begin
+    let x = t.slots.(t.cons land t.mask) in
+    t.cons <- t.cons + 1;
+    Some x
+  end
+
+let pop_up_to t ~max =
+  let n = min max (length t) in
+  let rec go k acc =
+    if k = 0 then List.rev acc
+    else
+      match try_pop t with
+      | None -> List.rev acc
+      | Some x -> go (k - 1) (x :: acc)
+  in
+  go n []
+
+let drop_oldest t =
+  if is_empty t then false
+  else begin
+    t.cons <- t.cons + 1;
+    true
+  end

@@ -508,6 +508,97 @@ let write t data =
         else eager_write t data)
   end
 
+(* --- batched write (tx ring) ------------------------------------------ *)
+
+(* Stage one message of a batch: claim a send-pool slot and build the
+   descriptor spec without posting. Only single-chunk eager messages
+   without per-message blocking can ride a batch; anything else makes
+   the caller flush what is staged (preserving FIFO seq order) and take
+   the per-call path. [flush] is invoked before blocking on flow
+   control, so credits the staged-but-unposted messages would earn back
+   can actually arrive. *)
+let stage_for_batch t data ~flush =
+  if t.reset then raise Reset;
+  if t.closed || t.peer_closed then raise Closed;
+  if t.peer_conn < 0 then raise Closed;
+  let o = opts t in
+  let len = String.length data in
+  if len = 0 then `Skip
+  else if
+    o.Options.scheme <> Options.Eager
+    || o.Options.block_send
+    || len > Options.chunk_capacity o
+    || uses_rendezvous t len
+  then `Fallback
+  else begin
+    Stats.Counter.incr t.mh.h_writes;
+    Stats.Counter.add t.mh.h_bytes_written len;
+    if t.credits = 0 then flush ();
+    take_credit t;
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let hdr = Codec.encode [ seq; piggyback_credits t ] in
+    `Staged
+      (Sendpool.stage t.data_pool ~dst:t.peer_node
+         ~tag:(Tags.make Tags.Data t.peer_conn)
+         (hdr ^ data))
+  end
+
+let data_pool_slots t = Sendpool.slots t.data_pool
+
+(* Gathered write: stage up to a send-pool's worth of eager messages,
+   then post them all through the endpoint's tx ring under a single
+   doorbell ([Endpoint.post_sendv]). The substrate bookkeeping
+   ([write_overhead]) is paid once per batch — that amortization, plus
+   the doorbell batching underneath, is the point. A singleton
+   degenerates to {!write} exactly. *)
+let writev t datas =
+  match datas with
+  | [] -> ()
+  | [ data ] -> write t data
+  | _ ->
+    if t.reset then raise Reset;
+    if t.closed || t.peer_closed then raise Closed;
+    if t.peer_conn < 0 then raise Closed;
+    Trace.span t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
+      "sub.writev"
+      ~args:[ ("msgs", string_of_int (List.length datas)) ]
+      (fun () ->
+        Node.compute t.env.node (opts t).Options.write_overhead;
+        let staged = ref [] and count = ref 0 in
+        let pool_cap = data_pool_slots t in
+        let flush () =
+          if !count > 0 then begin
+            let l = List.rev !staged in
+            staged := [];
+            count := 0;
+            let sends = E.post_sendv t.env.emp (List.map snd l) in
+            Sendpool.commit (List.map fst l) sends;
+            (* Opportunistically retire already-acknowledged ring sends
+               so pool-slot reuse doesn't block on them later. *)
+            ignore (E.reap_sent t.env.emp)
+          end
+        in
+        List.iter
+          (fun data ->
+            (* Staging past the pool size would wrap onto a slot staged
+               earlier in this very batch. *)
+            if !count >= pool_cap then flush ();
+            match stage_for_batch t data ~flush with
+            | `Skip -> ()
+            | `Staged sl ->
+              staged := sl :: !staged;
+              incr count
+            | `Fallback ->
+              flush ();
+              Stats.Counter.incr t.mh.h_writes;
+              Stats.Counter.add t.mh.h_bytes_written (String.length data);
+              if uses_rendezvous t (String.length data) then
+                rendezvous_write t data
+              else eager_write t data)
+          datas;
+        flush ())
+
 (* --- read -------------------------------------------------------------- *)
 
 type next_item =
@@ -661,6 +752,103 @@ let read t n =
         Stats.Counter.incr t.mh.h_reads;
         Stats.Counter.add t.mh.h_bytes_read (String.length s);
         s)
+
+(* --- batched read (fill ring) ----------------------------------------- *)
+
+(* Deferred variant of [message_consumed]: the slot is collected instead
+   of reposted, so a whole drain's worth of descriptors can go back to
+   the NIC in one fill-ring batch. Credit accounting is settled by
+   [flush_reposts]. *)
+let message_consumed_deferred t r freed =
+  Hashtbl.remove t.rx_ready r.rd_seq;
+  t.expected_seq <- t.expected_seq + 1;
+  freed := r.rd_slot :: !freed
+
+let flush_reposts t freed_rev =
+  let slots = List.rev freed_rev in
+  (match slots with
+  | [] -> ()
+  | [ slot ] -> repost_data_slot t slot
+  | _ ->
+    let specs =
+      List.map
+        (fun slot ->
+          ( t.peer_node,
+            Tags.make Tags.Data t.id,
+            slot.sl_region,
+            0,
+            Memory.length slot.sl_region ))
+        slots
+    in
+    let rs = E.post_recv_batch t.env.emp specs in
+    List.iter2
+      (fun slot r ->
+        slot.sl_current <- Some r;
+        Mailbox.send t.rx_handles (slot, r))
+      slots rs);
+  let k = List.length slots in
+  if k > 0 && (opts t).Options.scheme <> Options.Comm_thread then begin
+    t.consumed_since_ack <- t.consumed_since_ack + k;
+    if t.consumed_since_ack >= Options.ack_threshold (opts t) then ack_due t
+  end
+
+(* Batched read: block for the first item, then drain every consecutive
+   ready message (up to [max]) without further blocking. Each returned
+   string is one whole message (datagram) or the remaining bytes of the
+   next message (streaming). With [Options.rx_ring] the consumed data
+   slots are returned to the NIC through the fill ring in one batch;
+   otherwise each is reposted per-call, exactly as {!read} would.
+   Returns [[]] on EOF. *)
+let readv t ~max:maxn =
+  if t.closed then raise Closed;
+  if maxn <= 0 then []
+  else
+    Trace.span t.trace ~layer:Trace.Substrate ~node:(node_id t) ~conn:t.id
+      "sub.readv" (fun () ->
+        Node.compute t.env.node (opts t).Options.read_overhead;
+        let use_ring = (opts t).Options.rx_ring in
+        let acc = ref [] and freed = ref [] and got = ref 0 in
+        let take s =
+          Stats.Counter.incr t.mh.h_reads;
+          Stats.Counter.add t.mh.h_bytes_read (String.length s);
+          acc := s :: !acc;
+          incr got
+        in
+        let take_eager r =
+          let len = r.rd_len - r.rd_off in
+          let s =
+            copy_out t r.rd_slot.sl_region
+              ~off:(Options.header_bytes + r.rd_off)
+              ~len
+          in
+          if use_ring then message_consumed_deferred t r freed
+          else message_consumed t r;
+          take s
+        in
+        let rec first () =
+          if t.reset then raise Reset;
+          if t.closed then raise Closed;
+          if t.rdvz_leftover <> "" then
+            take (read_leftover t max_int)
+          else
+            match next_item t with
+            | Eager_msg r -> take_eager r
+            | Rdvz q -> take (read_rdvz t q max_int)
+            | Eof -> ()
+            | Nothing ->
+              Cond.wait t.readable_c;
+              first ()
+        in
+        first ();
+        (* Non-blocking drain of whatever else is already in order. *)
+        let continue = ref (!got > 0) in
+        while !continue && !got < maxn do
+          match next_item t with
+          | Eager_msg r -> take_eager r
+          | Rdvz _ | Eof | Nothing -> continue := false
+        done;
+        if use_ring then flush_reposts t !freed;
+        List.rev !acc)
 
 let readable t =
   t.closed || t.peer_closed || t.reset || t.rdvz_leftover <> ""

@@ -56,6 +56,45 @@ val read : t -> int -> string
 (** Blocking receive: byte-stream semantics in data-streaming mode,
     whole-message semantics in datagram mode; [""] at end of stream. *)
 
+val writev : t -> string list -> unit
+(** Gathered write: stages up to a send-pool's worth of single-chunk
+    eager messages and posts them through the endpoint's tx ring under
+    one doorbell ({!Uls_emp.Endpoint.post_sendv}); substrate
+    bookkeeping ([write_overhead]) is paid once per call. Messages that
+    cannot ride a batch (rendezvous-sized, blocking-send or comm-thread
+    schemes) flush what is staged — preserving FIFO order — and take the
+    per-call path. [writev t [m]] is byte-identical to [write t m]. *)
+
+val readv : t -> max:int -> string list
+(** Batched read: blocks for the first available item, then drains every
+    consecutive ready message (up to [max]) without further blocking.
+    Each element is one whole message (datagram) or the remaining bytes
+    of the next message (streaming). With [Options.rx_ring] set, all
+    consumed data slots are reposted through the fill ring in one batch
+    ({!Uls_emp.Endpoint.post_recv_batch}); otherwise reposting is
+    per-message, exactly as {!read}. [[]] means end of stream. *)
+
+val stage_for_batch :
+  t ->
+  string ->
+  flush:(unit -> unit) ->
+  [ `Skip
+  | `Fallback
+  | `Staged of
+    Sendpool.slot * (int * int * Uls_host.Memory.region * int * int) ]
+(** Building block for cross-connection batches ([Substrate.sendv]):
+    claim a send-pool slot for one eager message and return it with its
+    [post_sendv] spec. [`Skip] for empty payloads, [`Fallback] when the
+    message cannot ride a batch (caller must flush staged specs first,
+    then {!write}). [flush] is invoked before blocking on flow control
+    so staged-but-unposted messages get onto the wire and can earn their
+    credits back. *)
+
+val data_pool_slots : t -> int
+(** Send-pool capacity: a batch must flush before staging more than this
+    many messages on one connection (slot reuse would corrupt a staged,
+    unposted message). *)
+
 val readable : t -> bool
 
 val add_watcher : t -> (unit -> unit) -> unit

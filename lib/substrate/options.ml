@@ -41,6 +41,13 @@ type t = {
           no EMP descriptor waiting on the server until [listen] ran.
           Each attempt doubles the previous wait (exponential backoff). *)
   backlog_request_bytes : int;
+  rx_ring : bool;
+      (** Batched descriptor reposting: [readv] returns consumed data
+          slots to the NIC through the endpoint's fill ring
+          ([Endpoint.post_recv_batch] — one doorbell and one descriptor
+          fetch batch per drain) instead of one [post_recv] per message.
+          Off by default so the per-call path is byte-identical to the
+          pre-ring substrate. *)
 }
 
 let header_bytes = 16
@@ -63,6 +70,7 @@ let data_streaming =
     connect_timeout = Uls_engine.Time.ms 50;
     connect_attempts = 4;
     backlog_request_bytes = 64;
+    rx_ring = false;
   }
 
 (** DS with all enhancements on: the paper's DS_DA_UQ configuration. *)

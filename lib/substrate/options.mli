@@ -41,6 +41,11 @@ type t = {
           no EMP descriptor waiting on the server until [listen] ran.
           Each attempt doubles the previous wait (exponential backoff). *)
   backlog_request_bytes : int;
+  rx_ring : bool;
+      (** Batched descriptor reposting: [readv] returns consumed data
+          slots through the endpoint's fill ring
+          ([Endpoint.post_recv_batch]) instead of one [post_recv] per
+          message. Off by default (byte-identical per-call path). *)
 }
 
 val header_bytes : int

@@ -51,14 +51,13 @@ let in_flight t =
     0 t.slots
 
 let slot_size t = Memory.length t.slots.(0).region
+let slots t = Array.length t.slots
 
 (** Copy [data] into the next ring slot and post the send. Blocks only
     when the ring wraps onto a send that is still in flight. The blit is
     free of simulated cost: it models the application reusing its own
     (already pinned) buffer, not an extra protocol copy. *)
-let send t ~dst ~tag data =
-  let len = String.length data in
-  if len > slot_size t then invalid_arg "Sendpool.send: message too large";
+let claim_slot t =
   let slot = t.slots.(t.next) in
   t.next <- (t.next + 1) mod Array.length t.slots;
   (match slot.pending with
@@ -68,7 +67,26 @@ let send t ~dst ~tag data =
     try E.wait_send t.emp s with E.Send_failed _ -> ())
   | _ -> ());
   slot.pending <- None;
+  slot
+
+let send t ~dst ~tag data =
+  let len = String.length data in
+  if len > slot_size t then invalid_arg "Sendpool.send: message too large";
+  let slot = claim_slot t in
   Memory.blit_from_string data slot.region ~off:0;
   let s = E.post_send t.emp ~dst ~tag slot.region ~off:0 ~len in
   slot.pending <- Some s;
   s
+
+(** Claim a slot and fill it without posting: the batched path stages
+    several messages, then submits them all through the endpoint's tx
+    ring under one doorbell ([Endpoint.post_sendv]); [commit] records
+    the resulting sends so slot reuse still waits on them. *)
+let stage t ~dst ~tag data =
+  let len = String.length data in
+  if len > slot_size t then invalid_arg "Sendpool.stage: message too large";
+  let slot = claim_slot t in
+  Memory.blit_from_string data slot.region ~off:0;
+  (slot, (dst, tag, slot.region, 0, len))
+
+let commit slots sends = List.iter2 (fun slot s -> slot.pending <- Some s) slots sends

@@ -12,11 +12,32 @@ val create :
 
 val slot_size : t -> int
 
+val slots : t -> int
+(** Number of ring slots (batch staging must flush before wrapping). *)
+
 val send : t -> dst:int -> tag:int -> string -> Uls_emp.Endpoint.send
 (** Copy the payload into the next ring slot and post the send. Blocks
     only when the ring wraps onto a send that is still in flight. The
     blit is free of simulated cost: it models the application reusing
     its own (already pinned) buffer, not an extra protocol copy. *)
+
+type slot
+
+val stage :
+  t ->
+  dst:int ->
+  tag:int ->
+  string ->
+  slot * (int * int * Uls_host.Memory.region * int * int)
+(** Claim the next ring slot and copy the payload in without posting,
+    returning the slot and the [(dst, tag, region, off, len)] spec for
+    {!Uls_emp.Endpoint.post_sendv}. Blocks like {!send} when the ring
+    wraps onto an in-flight send. Pair with {!commit} once the batch is
+    posted. *)
+
+val commit : slot list -> Uls_emp.Endpoint.send list -> unit
+(** Record the posted sends against their staged slots (same order), so
+    later slot reuse waits for them. *)
 
 val in_flight : t -> int
 (** Slots whose send is neither acknowledged nor failed. At quiescence a
