@@ -1052,10 +1052,12 @@ let engine_cmd =
     Arg.(value & flag & info [ "check" ]
            ~doc:"CI gate: heap and wheel must dispatch identical event \
                  counts per scenario, the wheel must beat the heap by at \
-                 least 2x events/sec on the 65536-conn fabric shape, and \
-                 against the committed baseline every event count must \
-                 match exactly and no per-scenario wheel-vs-heap speedup \
-                 may regress by more than 20%.")
+                 least 2x events/sec on the 65536-conn fabric shape, no \
+                 run may allocate more than 14 minor words per dispatched \
+                 event (allocation sanitizer), and against the committed \
+                 baseline every event count must match exactly and no \
+                 per-scenario wheel-vs-heap speedup may regress by more \
+                 than 20%.")
   in
   let baseline =
     Arg.(value & opt string "BENCH_engine.json"
@@ -1072,6 +1074,8 @@ let engine_cmd =
         ("events", json_int r.Engine_bench.events);
         ("elapsed_s", json_float r.Engine_bench.elapsed_s);
         ("events_per_sec", json_float r.Engine_bench.events_per_sec);
+        ("minor_words_per_event",
+         json_float r.Engine_bench.minor_words_per_event);
       ]
   in
   let run json check baseline_file =
@@ -1082,15 +1086,15 @@ let engine_cmd =
           r.Engine_bench.scenario = name && r.Engine_bench.sched = sched)
         rows
     in
-    Format.printf "%-14s %8s %10s %10s %14s %9s@." "scenario" "conns"
-      "sched" "events" "events/sec" "speedup";
+    Format.printf "%-14s %8s %10s %10s %14s %9s %8s@." "scenario" "conns"
+      "sched" "events" "events/sec" "speedup" "mw/ev";
     List.iter
       (fun sh ->
         let name = sh.Engine_bench.sh_name in
         let h = find `Heap name and w = find `Wheel name in
         List.iter
           (fun (r : Engine_bench.row) ->
-            Format.printf "%-14s %8d %10s %10d %14.0f %9s@."
+            Format.printf "%-14s %8d %10s %10d %14.0f %9s %8.2f@."
               r.Engine_bench.scenario r.Engine_bench.conns
               (sched_name r.Engine_bench.sched)
               r.Engine_bench.events r.Engine_bench.events_per_sec
@@ -1098,7 +1102,8 @@ let engine_cmd =
                  Printf.sprintf "%.2fx"
                    (r.Engine_bench.events_per_sec
                    /. h.Engine_bench.events_per_sec)
-               else ""))
+               else "")
+              r.Engine_bench.minor_words_per_event)
           [ h; w ])
       Engine_bench.shapes;
     if json then List.iter engine_json rows;
@@ -1121,6 +1126,23 @@ let engine_cmd =
             fail "%s: heap dispatched %d events, wheel %d" name
               h.Engine_bench.events w.Engine_bench.events)
         Engine_bench.shapes;
+      (* Allocation sanitizer: the steady-state cost is the workload's
+         own per-cycle closures (measured 9-12.2 minor words/event
+         across shapes); the dispatch loop — including the analysis
+         instrumentation hooks when no tracker is attached — must add
+         nothing. 14.0 leaves noise headroom yet trips on a single
+         boxed allocation per event on the heavier shapes. *)
+      let alloc_ceiling = 14.0 in
+      List.iter
+        (fun (r : Engine_bench.row) ->
+          if r.Engine_bench.minor_words_per_event > alloc_ceiling then
+            fail
+              "%s/%s: %.2f minor words/event exceeds the %.1f allocation \
+               ceiling (engine hot path started allocating)"
+              r.Engine_bench.scenario
+              (sched_name r.Engine_bench.sched)
+              r.Engine_bench.minor_words_per_event alloc_ceiling)
+        rows;
       (* The tentpole claim: O(1) queue ops must show at fleet scale. *)
       let h = find `Heap "fabric-65536" and w = find `Wheel "fabric-65536" in
       if
@@ -1601,7 +1623,33 @@ let races_cmd =
     Arg.(value & flag & info [ "verbose"; "v" ]
            ~doc:"Full divergence/violation listings.")
   in
+  let explore_flag =
+    Arg.(value & flag & info [ "explore" ]
+           ~doc:"Systematic DPOR-style exploration instead of seed \
+                 sampling: enumerate same-timestamp schedules for every \
+                 scenario with an exploration bound, with independence \
+                 pruning and state-fingerprint dedup. Prints honest \
+                 coverage (exhaustive vs preemption-bounded) and, for \
+                 flagged schedules, the racing operation pair.")
+  in
+  let replay_schedule =
+    Arg.(value & opt (some string) None
+         & info [ "replay-schedule" ] ~docv:"ID"
+             ~doc:"Replay --scenario under one explorer schedule id \
+                   (e.g. 0.4.1, as printed by --explore) and dump its \
+                   fingerprint, violations, racing pairs, and any \
+                   deadlock report.")
+  in
+  let max_runs =
+    Arg.(value & opt (some int) None & info [ "max-runs" ] ~docv:"N"
+           ~doc:"Override the per-scenario explorer run budget.")
+  in
+  let max_preempt =
+    Arg.(value & opt (some int) None & info [ "max-preemptions" ] ~docv:"P"
+           ~doc:"Override the per-scenario preemption cap.")
+  in
   let module A = Uls_analysis.Race in
+  let module X = Uls_analysis.Explore in
   let module S = Uls_analysis.Scenarios in
   let find_or_die name =
     match S.find name with
@@ -1611,9 +1659,24 @@ let races_cmd =
         (String.concat ", " (List.map (fun sc -> sc.S.sc_name) S.all));
       exit 124
   in
-  let run seeds smoke scenario replay verbose sched =
-    match replay with
-    | Some seed ->
+  let dump_outcome ?(pairs = []) (o : S.outcome) =
+    print_endline (Uls_analysis.Fingerprint.to_string o.S.fingerprint);
+    List.iter
+      (fun v -> print_endline (Uls_engine.Invariant.string_of_violation v))
+      o.S.violations;
+    List.iter (fun p -> print_endline (Uls_analysis.Hb.render_pair p)) pairs;
+    (match o.S.deadlock with
+    | Some rep -> print_endline (Uls_analysis.Deadlock.render rep)
+    | None -> ());
+    if o.S.violations <> [] || o.S.deadlock <> None then exit 1
+  in
+  let run seeds smoke scenario replay explore replay_schedule max_runs
+      max_preempt verbose sched =
+    match (replay, replay_schedule) with
+    | Some _, Some _ ->
+      prerr_endline "ulsbench races: --replay and --replay-schedule conflict";
+      exit 124
+    | Some seed, None ->
       let name =
         match scenario with
         | Some n -> n
@@ -1621,46 +1684,80 @@ let races_cmd =
           prerr_endline "ulsbench races: --replay requires --scenario";
           exit 124
       in
-      let o = A.replay ~sched (find_or_die name) ~seed in
-      print_endline (Uls_analysis.Fingerprint.to_string o.S.fingerprint);
-      List.iter
-        (fun v -> print_endline (Uls_engine.Invariant.string_of_violation v))
-        o.S.violations;
-      (match o.S.deadlock with
-      | Some rep -> print_endline (Uls_analysis.Deadlock.render rep)
-      | None -> ());
-      if o.S.violations <> [] || o.S.deadlock <> None then exit 1
-    | None ->
+      dump_outcome (A.replay ~sched (find_or_die name) ~seed)
+    | None, Some id ->
+      let name =
+        match scenario with
+        | Some n -> n
+        | None ->
+          prerr_endline "ulsbench races: --replay-schedule requires --scenario";
+          exit 124
+      in
+      let o, pairs = X.replay ~sched (find_or_die name) ~schedule:id in
+      dump_outcome ~pairs o
+    | None, None ->
       let scenarios =
         match scenario with
         | Some name -> [ find_or_die name ]
         | None -> S.all
       in
       let failures = ref 0 in
-      List.iter
-        (fun sc ->
-          let v =
-            if smoke && sc.S.sc_buggy then
-              A.run_until_flagged ~max_seeds:seeds ~sched sc
-            else A.run_scenario ~seeds ~sched sc
-          in
-          print_endline (A.render ~verbose v);
-          let ok = if sc.S.sc_buggy then A.flagged v else A.clean v in
-          if not ok then begin
-            incr failures;
-            Printf.printf "FAIL: %s %s\n" sc.S.sc_name
-              (if sc.S.sc_buggy then
-                 "— the detector no longer catches this seeded regression"
-               else "— not schedule-independent")
-          end)
-        scenarios;
-      if !failures > 0 then exit 1;
-      print_endline "races: all scenarios OK"
+      if explore then begin
+        (* Systematic mode: scenarios without a bound are skipped (their
+           schedule tree is not explorable at useful cost), and that is
+           reported rather than silently passed. *)
+        List.iter
+          (fun sc ->
+            match sc.S.sc_bound with
+            | None ->
+              Printf.printf "%-20s %-7s skipped: no exploration bound\n"
+                sc.S.sc_name
+                (if sc.S.sc_buggy then "[buggy]" else "[clean]")
+            | Some _ ->
+              let v = X.explore ~sched ?max_runs ?max_preemptions:max_preempt sc in
+              print_endline (X.render ~verbose v);
+              let ok = if sc.S.sc_buggy then X.flagged v else X.clean v in
+              if not ok then begin
+                incr failures;
+                Printf.printf "FAIL: %s %s\n" sc.S.sc_name
+                  (if sc.S.sc_buggy then
+                     "— systematic exploration no longer finds this seeded \
+                      regression"
+                   else "— not schedule-independent")
+              end)
+          scenarios;
+        if !failures > 0 then exit 1;
+        print_endline "races --explore: all scenarios OK"
+      end
+      else begin
+        List.iter
+          (fun sc ->
+            let v =
+              if smoke && sc.S.sc_buggy then
+                A.run_until_flagged ~max_seeds:seeds ~sched sc
+              else A.run_scenario ~seeds ~sched sc
+            in
+            print_endline (A.render ~verbose v);
+            let ok = if sc.S.sc_buggy then A.flagged v else A.clean v in
+            if not ok then begin
+              incr failures;
+              Printf.printf "FAIL: %s %s\n" sc.S.sc_name
+                (if sc.S.sc_buggy then
+                   "— the detector no longer catches this seeded regression"
+                 else "— not schedule-independent")
+            end)
+          scenarios;
+        if !failures > 0 then exit 1;
+        print_endline "races: all scenarios OK"
+      end
   in
   Cmd.v
     (Cmd.info "races"
-       ~doc:"Schedule-perturbation race detection over the invariant suite")
-    Term.(const run $ seeds $ smoke $ scenario $ replay $ verbose
+       ~doc:"Schedule-perturbation race detection over the invariant suite: \
+             seed sampling by default, systematic DPOR-style enumeration \
+             with --explore")
+    Term.(const run $ seeds $ smoke $ scenario $ replay $ explore_flag
+          $ replay_schedule $ max_runs $ max_preempt $ verbose
           $ sched_flag `Heap)
 
 let () =

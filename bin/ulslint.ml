@@ -17,12 +17,33 @@
                      wedges that fiber, not the watcher's owner. Inline
                      callbacks must only flag-and-signal.
 
+   metrics-name-lookup
+                     the by-name Metrics forms (incr/add/observe/
+                     set_gauge/counter_value/gauge_value) hash the
+                     metric name on every call; hot-path modules must
+                     resolve handles once at construction
+                     (Metrics.counter/gauge/histogram) and use the
+                     Stats handle per event. Cold end-of-run report
+                     assembly is allowlisted per file.
+
+   unlabeled-sync    Cond.create / Mailbox.create without ~label: the
+                     deadlock diagnoser's wait-for edges and the
+                     happens-before tracker's racing-pair reports name
+                     sync objects by label, so an unlabeled object
+                     turns "fiber X waiting on conn:3 credits" into
+                     "waiting on cond#17".
+
    Findings can be suppressed by .ulslint-allow at the repo root
    ("rule path[:line]" per line, '#' comments); stale allowlist entries
    are themselves errors, so the file can only shrink. *)
 
 let root = ref "."
-let rules = [ "no-assert-false"; "missing-mli"; "blocking-watcher" ]
+
+let rules =
+  [
+    "no-assert-false"; "missing-mli"; "blocking-watcher";
+    "metrics-name-lookup"; "unlabeled-sync";
+  ]
 
 type finding = { rule : string; path : string; line : int; msg : string }
 
@@ -155,6 +176,61 @@ let check_blocking_watcher path lines =
       scan 0)
     watcher_markers
 
+(* --- rule: metrics-name-lookup ----------------------------------------- *)
+
+(* The Metrics entry points that do a name lookup per call. Handle
+   constructors (Metrics.counter/gauge/histogram) are the fix, not a
+   violation — they are expected at module construction time. *)
+let by_name_metrics =
+  [
+    "Metrics.incr"; "Metrics.add"; "Metrics.observe"; "Metrics.set_gauge";
+    "Metrics.counter_value"; "Metrics.gauge_value";
+  ]
+
+let check_metrics_lookup path lines =
+  List.iteri
+    (fun i line ->
+      List.iter
+        (fun form ->
+          if contains ~needle:form line then
+            report "metrics-name-lookup" path (i + 1)
+              (Printf.sprintf
+                 "%s hashes the metric name per call; cache a handle \
+                  (Metrics.counter/gauge/histogram) at construction"
+                 form))
+        by_name_metrics)
+    lines
+
+(* --- rule: unlabeled-sync ---------------------------------------------- *)
+
+(* [~label] may sit on the line after the constructor (ocamlformat
+   splits long calls), so the check joins a short lookahead window
+   before deciding the call is unlabeled. *)
+let sync_constructors = [ "Cond.create"; "Mailbox.create" ]
+
+let check_unlabeled_sync path lines =
+  let arr = Array.of_list lines in
+  Array.iteri
+    (fun i line ->
+      List.iter
+        (fun ctor ->
+          if contains ~needle:ctor line then begin
+            let window = Buffer.create 256 in
+            Buffer.add_string window line;
+            for j = i + 1 to min (i + 2) (Array.length arr - 1) do
+              Buffer.add_char window '\n';
+              Buffer.add_string window arr.(j)
+            done;
+            if not (contains ~needle:"~label" (Buffer.contents window)) then
+              report "unlabeled-sync" path (i + 1)
+                (Printf.sprintf
+                   "%s without ~label: deadlock wait-for edges and \
+                    racing-pair reports need a name for this object"
+                   ctor)
+          end)
+        sync_constructors)
+    arr
+
 (* --- allowlist --------------------------------------------------------- *)
 
 type allow = { a_rule : string; a_path : string; a_line : int option }
@@ -224,7 +300,9 @@ let () =
       let lines = read_lines path in
       check_assert_false path lines;
       check_mli path;
-      check_blocking_watcher path lines)
+      check_blocking_watcher path lines;
+      check_metrics_lookup path lines;
+      check_unlabeled_sync path lines)
     files;
   let allows = load_allowlist (Filename.concat !root ".ulslint-allow") in
   let relativize f =

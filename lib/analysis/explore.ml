@@ -1,0 +1,387 @@
+(* DPOR-style systematic schedule exploration.
+
+   The sampling detector (Race) perturbs same-timestamp dispatch order
+   with seeded shuffles and hopes a bad interleaving falls out. This
+   module replaces hope with enumeration for scenarios that opt in
+   (Scenarios.sc_bound): it drives the scenario under the engine's
+   [`Controlled] tie-break, where every same-timestamp tie is an
+   explicit decision point, and walks the schedule tree with a stateless
+   depth-first search.
+
+   Enumeration. A schedule is identified by its decision prefix: the
+   list of choice indices taken at decision points 0..k-1, with the
+   default (index 0 = FIFO order) everywhere after. After running a
+   prefix, the search expands alternatives only at decision points at
+   depth >= |prefix| — the classic duplicate-free stateless-DFS
+   expansion rule, so every choice sequence in the bounded space is
+   executed exactly once.
+
+   Pruning (sleep-set flavour). Before expanding alternative task [a]
+   at decision [i], the search checks the dispatch log of the run it
+   just observed: if [a]'s footprint (the sync-object uids it touched
+   when it eventually ran, recorded by Hb) is non-empty and disjoint
+   from the footprints of every task dispatched between [i] and [a]'s
+   actual position — all of which must themselves have non-empty
+   footprints — then running [a] first commutes with all of them, the
+   two schedules are Mazurkiewicz-equivalent, and the alternative is
+   skipped. Tasks with empty footprints performed no tracked sync
+   operation; they may still have touched shared state through plain
+   refs, so they are conservatively dependent on everything — pruning
+   never skips a schedule it cannot prove equivalent. The independence
+   model (state flows through sync primitives) is documented in
+   DESIGN.md §11.
+
+   Bounding. Exhaustive enumeration is feasible for micro fixtures; a
+   protocol scenario's tree explodes. Each scenario's bound carries a
+   preemption cap — the maximum number of non-default (non-FIFO)
+   choices per schedule — and a run budget. Within the cap the sweep is
+   complete (every schedule at most P deviations from FIFO is visited),
+   the CHESS observation being that real schedule bugs almost always
+   need very few preemptions. Coverage is reported honestly: a verdict
+   says "exhaustive" only when the tree drained with no alternative
+   skipped by cap or budget.
+
+   Every flagged finding carries its schedule id (the sparse decision
+   prefix, e.g. "29:1"), replayable deterministically with
+   [races --scenario S --explore --replay-schedule 29:1]. *)
+
+open Uls_engine
+
+type finding =
+  | Divergent of string  (* first differing fingerprint line *)
+  | Violating of string  (* first invariant violation, rendered *)
+  | Deadlocked of Deadlock.report
+
+type flagged = {
+  fl_schedule : string;  (* schedule id: dotted decision prefix *)
+  fl_finding : finding;
+  fl_preemptions : int;  (* deviations from FIFO in this schedule *)
+}
+
+type stats = {
+  st_runs : int;  (* schedules actually executed *)
+  st_decision_points : int;  (* total decision points encountered *)
+  st_max_depth : int;  (* deepest decision point seen *)
+  st_pruned : int;  (* alternatives skipped as independence-equivalent *)
+  st_capped : int;  (* alternatives skipped by the preemption cap *)
+  st_truncated : int;  (* frontier entries abandoned when the run budget ran out *)
+  st_distinct_states : int;  (* distinct end-state fingerprints *)
+  st_exhaustive : bool;
+      (* the whole tree was enumerated: frontier drained, nothing capped
+         or truncated — "all N inequivalent schedules verified" *)
+}
+
+type verdict = {
+  e_scenario : Scenarios.t;
+  e_baseline : Scenarios.outcome;  (* the all-defaults (FIFO) schedule *)
+  e_flagged : flagged list;
+  e_pairs : Hb.pair list;
+      (* racing pairs from the first flagged run: the conflicting
+         operations the divergence hinged on *)
+  e_stats : stats;
+}
+
+(* Schedule ids are sparse: "29:1,38:2" = at decision point 29 take
+   index 1, at 38 take index 2, FIFO (index 0) everywhere else. A child
+   prefix always ends in a non-default choice, so the sparse form is
+   lossless including length. *)
+let schedule_id prefix =
+  let parts = ref [] in
+  Array.iteri
+    (fun i c -> if c <> 0 then parts := Printf.sprintf "%d:%d" i c :: !parts)
+    prefix;
+  if !parts = [] then "fifo" else String.concat "," (List.rev !parts)
+
+let parse_schedule_id s =
+  if s = "fifo" then Some [||]
+  else
+    try
+      let pairs =
+        List.map
+          (fun p ->
+            match String.split_on_char ':' p with
+            | [ a; b ] -> (int_of_string a, int_of_string b)
+            | _ -> raise Exit)
+          (String.split_on_char ',' s)
+      in
+      let len = 1 + List.fold_left (fun m (p, _) -> max m p) (-1) pairs in
+      let a = Array.make len 0 in
+      List.iter
+        (fun (p, c) ->
+          if p < 0 || c <= 0 then raise Exit;
+          a.(p) <- c)
+        pairs;
+      Some a
+    with _ -> None
+
+let preemptions prefix = Array.fold_left (fun n c -> if c <> 0 then n + 1 else n) 0 prefix
+
+(* --- one controlled run ------------------------------------------------- *)
+
+type decision = {
+  d_enabled : int array;  (* task seqs sharing the instant, FIFO order *)
+  d_chosen : int;  (* index taken *)
+  d_pos : int;  (* dispatch index of the chosen task *)
+}
+
+(* Run the scenario once under the decision prefix (defaults beyond it).
+   Returns the outcome, the decisions actually encountered (oldest
+   first) and the attached happens-before tracker. Uses the global sim
+   creation hook, so explorations cannot nest. *)
+let run_once (run_fn : ?sched:[ `Heap | `Wheel ] -> Scenarios.tiebreak -> Scenarios.outcome)
+    ?sched prefix =
+  let hb = ref None in
+  Sim.set_create_hook
+    (Some
+       (fun sim ->
+         (* first sim created inside the run function is the scenario's *)
+         if !hb = None then hb := Some (Hb.attach sim)));
+  let decisions = ref [] in
+  let depth = ref 0 in
+  let choose enabled =
+    let i = !depth in
+    incr depth;
+    let c = if i < Array.length prefix then prefix.(i) else 0 in
+    let c = if c < 0 || c >= Array.length enabled then 0 else c in
+    let pos = match !hb with Some h -> Hb.dispatch_count h | None -> 0 in
+    decisions := { d_enabled = enabled; d_chosen = c; d_pos = pos } :: !decisions;
+    c
+  in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Sim.set_create_hook None)
+      (fun () -> run_fn ?sched (`Controlled choose))
+  in
+  (outcome, List.rev !decisions, !hb)
+
+(* --- the search --------------------------------------------------------- *)
+
+let judge ~baseline (outcome : Scenarios.outcome) =
+  match outcome.Scenarios.violations with
+  | v :: _ -> Some (Violating (Invariant.string_of_violation v))
+  | [] -> (
+    match outcome.Scenarios.deadlock with
+    | Some rep -> Some (Deadlocked rep)
+    | None -> (
+      match baseline with
+      | None -> None
+      | Some base -> (
+        match
+          Fingerprint.first_difference base.Scenarios.fingerprint
+            outcome.Scenarios.fingerprint
+        with
+        | Some diff -> Some (Divergent diff)
+        | None -> None)))
+
+(* Is running [alt_seq] at dispatch position [from_pos] instead of at
+   its observed position provably equivalent? True iff its footprint is
+   non-empty and disjoint from every (non-empty) footprint dispatched
+   in between. *)
+let equivalent_alternative log ~from_pos ~alt_seq =
+  let n = Array.length log in
+  let alt_pos = ref (-1) in
+  (let i = ref from_pos in
+   while !alt_pos < 0 && !i < n do
+     if fst log.(!i) = alt_seq then alt_pos := !i;
+     incr i
+   done);
+  if !alt_pos < 0 then false  (* never ran (stopped early): must explore *)
+  else begin
+    let alt_fp = snd log.(!alt_pos) in
+    if alt_fp = [] then false  (* untracked effects: conservatively dependent *)
+    else begin
+      let independent = ref true in
+      let i = ref from_pos in
+      while !independent && !i < !alt_pos do
+        let fp = snd log.(!i) in
+        if fp = [] || List.exists (fun u -> List.mem u alt_fp) fp then
+          independent := false;
+        incr i
+      done;
+      !independent
+    end
+  end
+
+let explore ?sched ?max_runs ?max_preemptions (sc : Scenarios.t) =
+  let bound =
+    match sc.Scenarios.sc_bound with
+    | Some b -> b
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Explore: scenario %s has no exploration bound"
+           sc.Scenarios.sc_name)
+  in
+  let budget = Option.value max_runs ~default:bound.Scenarios.b_runs in
+  let cap = Option.value max_preemptions ~default:bound.Scenarios.b_preemptions in
+  let run_fn =
+    match bound.Scenarios.b_run with
+    | Some f -> f
+    | None -> sc.Scenarios.sc_run
+  in
+  let frontier = Stack.create () in
+  Stack.push [||] frontier;
+  let runs = ref 0 in
+  let decision_points = ref 0 in
+  let max_depth = ref 0 in
+  let pruned = ref 0 in
+  let capped = ref 0 in
+  let states = Hashtbl.create 64 in
+  let baseline = ref None in
+  let flagged_acc = ref [] in
+  let pairs_acc = ref [] in
+  while (not (Stack.is_empty frontier)) && !runs < budget do
+    let prefix = Stack.pop frontier in
+    let outcome, decisions, hb = run_once run_fn ?sched prefix in
+    incr runs;
+    if !baseline = None then baseline := Some outcome;
+    Hashtbl.replace states (Fingerprint.digest outcome.Scenarios.fingerprint) ();
+    let base = if !runs = 1 then None else !baseline in
+    (match judge ~baseline:base outcome with
+    | Some f ->
+      flagged_acc :=
+        {
+          fl_schedule = schedule_id prefix;
+          fl_finding = f;
+          fl_preemptions = preemptions prefix;
+        }
+        :: !flagged_acc;
+      if !pairs_acc = [] then
+        pairs_acc := (match hb with Some h -> Hb.pairs h | None -> [])
+    | None -> ());
+    (* expansion: alternatives at decision points this run opened *)
+    let log = match hb with Some h -> Hb.dispatch_log h | None -> [||] in
+    let plen = Array.length prefix in
+    let base_preempt = preemptions prefix in
+    List.iteri
+      (fun i d ->
+        incr decision_points;
+        if i + 1 > !max_depth then max_depth := i + 1;
+        if i >= plen then
+          for a = 0 to Array.length d.d_enabled - 1 do
+            if a <> d.d_chosen then
+              if base_preempt + (if a <> 0 then 1 else 0) > cap then incr capped
+              else if
+                equivalent_alternative log ~from_pos:d.d_pos
+                  ~alt_seq:d.d_enabled.(a)
+              then incr pruned
+              else begin
+                let child = Array.make (i + 1) 0 in
+                Array.blit prefix 0 child 0 plen;
+                (* defaults between |prefix| and i are already 0 *)
+                child.(i) <- a;
+                Stack.push child frontier
+              end
+          done)
+      decisions;
+    (match hb with Some h -> Hb.detach h | None -> ());
+    (* Each run builds and abandons a full simulation (cluster state,
+       buffers, the tracker's clock arrays); across hundreds of runs the
+       dead heap outgrows what the incremental major GC keeps up with
+       and RSS climbs into gigabytes. Compacting on a cadence keeps the
+       whole sweep in a flat footprint for a few percent of run time. *)
+    if !runs land 31 = 0 then Gc.compact ()
+  done;
+  let truncated = Stack.length frontier in
+  let stats =
+    {
+      st_runs = !runs;
+      st_decision_points = !decision_points;
+      st_max_depth = !max_depth;
+      st_pruned = !pruned;
+      st_capped = !capped;
+      st_truncated = truncated;
+      st_distinct_states = Hashtbl.length states;
+      st_exhaustive = truncated = 0 && !capped = 0;
+    }
+  in
+  {
+    e_scenario = sc;
+    e_baseline =
+      (match !baseline with
+      | Some b -> b
+      | None -> failwith "Explore: no runs executed");
+    e_flagged = List.rev !flagged_acc;
+    e_pairs = !pairs_acc;
+    e_stats = stats;
+  }
+
+let clean v = v.e_flagged = []
+let flagged v = not (clean v)
+
+(* Deterministic single-schedule reproduction (the --replay-schedule
+   path). Returns the outcome plus the racing pairs the happens-before
+   tracker saw along that schedule. *)
+let replay ?sched (sc : Scenarios.t) ~schedule =
+  match parse_schedule_id schedule with
+  | None -> invalid_arg (Printf.sprintf "Explore.replay: bad schedule id %S" schedule)
+  | Some prefix ->
+    let run_fn =
+      match sc.Scenarios.sc_bound with
+      | Some { Scenarios.b_run = Some f; _ } -> f
+      | _ -> sc.Scenarios.sc_run
+    in
+    let outcome, _, hb = run_once run_fn ?sched prefix in
+    let pairs = match hb with Some h -> Hb.pairs h | None -> [] in
+    (match hb with Some h -> Hb.detach h | None -> ());
+    (outcome, pairs)
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let finding_line = function
+  | Divergent d -> Printf.sprintf "divergence: %s" d
+  | Violating v -> Printf.sprintf "violation: %s" v
+  | Deadlocked rep ->
+    Printf.sprintf "deadlock: %d fiber(s) stuck" (List.length rep.Deadlock.rep_stuck)
+
+let coverage_line st =
+  if st.st_exhaustive then
+    Printf.sprintf
+      "exhaustive: all %d schedules run (%d inequivalent end states, %d \
+       equivalent alternatives pruned)"
+      st.st_runs st.st_distinct_states st.st_pruned
+  else
+    Printf.sprintf
+      "bounded: %d schedules run (%d inequivalent end states, %d pruned, %d \
+       beyond preemption cap, %d beyond run budget)"
+      st.st_runs st.st_distinct_states st.st_pruned st.st_capped st.st_truncated
+
+let render ?(verbose = false) v =
+  let b = Buffer.create 256 in
+  let sc = v.e_scenario in
+  Buffer.add_string b
+    (Printf.sprintf "%-20s %-7s %s" sc.Scenarios.sc_name
+       (if sc.Scenarios.sc_buggy then "[buggy]" else "[clean]")
+       (coverage_line v.e_stats));
+  if clean v then Buffer.add_string b "\n  no divergence, no violations, no deadlock"
+  else begin
+    let shown = if verbose then max_int else 3 in
+    List.iteri
+      (fun i f ->
+        if i < shown then
+          Buffer.add_string b
+            (Printf.sprintf "\n  schedule %s (%d preemption%s): %s" f.fl_schedule
+               f.fl_preemptions
+               (if f.fl_preemptions = 1 then "" else "s")
+               (finding_line f.fl_finding)))
+      v.e_flagged;
+    (if List.length v.e_flagged > shown then
+       Buffer.add_string b
+         (Printf.sprintf "\n  ... and %d more flagged schedule(s)"
+            (List.length v.e_flagged - shown)));
+    List.iteri
+      (fun i p ->
+        if i < shown then Buffer.add_string b ("\n  " ^ Hb.render_pair p))
+      v.e_pairs;
+    (match v.e_flagged with
+    | f :: _ ->
+      (match f.fl_finding with
+      | Deadlocked rep when verbose -> Buffer.add_string b ("\n" ^ Deadlock.render rep)
+      | _ -> ());
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n  replay deterministically with: ulsbench races --scenario %s \
+            --explore --replay-schedule %s"
+           sc.Scenarios.sc_name f.fl_schedule)
+    | [] -> ())
+  end;
+  Buffer.contents b

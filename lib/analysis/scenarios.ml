@@ -14,7 +14,7 @@ module Opt = Uls_substrate.Options
 module E = Uls_emp.Endpoint
 module Mem = Uls_host.Memory
 
-type tiebreak = [ `Fifo | `Seeded_shuffle of int ]
+type tiebreak = Sim.tiebreak_spec
 
 type outcome = {
   fingerprint : Fingerprint.t;
@@ -24,11 +24,24 @@ type outcome = {
   stop : [ `Quiescent | `Time_limit | `Stopped ];
 }
 
+(* Opt-in to systematic exploration. [b_runs] caps how many schedules
+   the explorer executes; [b_preemptions] caps deviations from FIFO per
+   schedule (max_int means the explorer may claim exhaustiveness if the
+   tree drains within budget); [b_run], when set, is a reduced-size
+   variant of the workload so each of the hundreds of explored schedules
+   stays cheap. *)
+type bound = {
+  b_runs : int;
+  b_preemptions : int;
+  b_run : (?sched:[ `Heap | `Wheel ] -> tiebreak -> outcome) option;
+}
+
 type t = {
   sc_name : string;
   sc_descr : string;
   sc_buggy : bool;
   sc_run : ?sched:[ `Heap | `Wheel ] -> tiebreak -> outcome;
+  sc_bound : bound option;
 }
 
 (* Observables accumulate from concurrently finishing fibers, so their
@@ -77,12 +90,12 @@ let hex s = Digest.to_hex (Digest.string s)
 
 (* --- eager-echo: streaming mode, two clients echoed by one server --- *)
 
-let eager_echo ?match_engine ?sched tiebreak =
+let eager_echo ?match_engine ?opts
+    ?(writes = [ 1_900; 4_096; 512; 9_000; 64; 2_048 ]) ?sched tiebreak =
   let cluster = start ~n:3 ?match_engine ?sched tiebreak in
   let sim = Cluster.sim cluster in
   let conns = ref [] and obs = ref [] in
-  let server = Cluster.substrate cluster 0 in
-  let writes = [ 1_900; 4_096; 512; 9_000; 64; 2_048 ] in
+  let server = Cluster.substrate ?opts cluster 0 in
   let total = List.fold_left ( + ) 0 writes in
   Sim.spawn sim ~name:"echo-server" (fun () ->
       let l = Sub.listen server ~port:80 ~backlog:4 in
@@ -102,7 +115,7 @@ let eager_echo ?match_engine ?sched tiebreak =
       done;
       Sub.close_listener server l);
   for client = 1 to 2 do
-    let sub = Cluster.substrate cluster client in
+    let sub = Cluster.substrate ?opts cluster client in
     Sim.spawn sim ~name:(Printf.sprintf "echo-client-%d" client) (fun () ->
         Sim.delay sim (Time.us 20);
         let conn = Sub.connect sub { Uls_api.Sockets_api.node = 0; port = 80 } in
@@ -164,12 +177,12 @@ let dg_rendezvous ?sched tiebreak =
 (* --- connect-churn: connection setup/teardown cycles reclaim every
    descriptor (the 2N+3 provisioning of §5.3 against the leak scans) --- *)
 
-let connect_churn ?sched tiebreak =
+let connect_churn ?opts ?sched tiebreak =
   let cluster = start ~n:2 ?sched tiebreak in
   let sim = Cluster.sim cluster in
   let conns = ref [] and obs = ref [] in
-  let server = Cluster.substrate cluster 0 in
-  let client = Cluster.substrate cluster 1 in
+  let server = Cluster.substrate ?opts cluster 0 in
+  let client = Cluster.substrate ?opts cluster 1 in
   let cycles = 4 in
   Sim.spawn sim ~name:"churn-server" (fun () ->
       let l = Sub.listen server ~port:70 ~backlog:2 in
@@ -350,12 +363,12 @@ let fabric_churn ?(sched = `Heap) tiebreak =
    mid-fetch coalesces), so the fingerprint takes only the
    schedule-independent ring facts: submitted and completed. *)
 
-let rings_firehose ?sched tiebreak =
+let rings_firehose ?(msgs = 24) ?(batch = 4) ?sched tiebreak =
   let cluster = start ~n:2 ?sched tiebreak in
   let sim = Cluster.sim cluster in
   let obs = ref [] in
   let e0 = Cluster.emp cluster 0 and e1 = Cluster.emp cluster 1 in
-  let producers = 2 and msgs = 24 and batch = 4 and size = 96 in
+  let producers = 2 and size = 96 in
   let payload p i =
     String.init size (fun j ->
         Char.chr (Char.code 'a' + (((p * 7) + (i * 3) + j) mod 26)))
@@ -420,7 +433,59 @@ let rings_firehose ?sched tiebreak =
   let stop = Cluster.run cluster in
   finish cluster ~conns:(ref []) ~observables:obs stop
 
+(* --- lost-signal: a wakeup that only gets lost off the FIFO path ------
+   The canonical lost-wakeup: a waiter parks on a condition and a
+   signaller fires exactly once, both scheduled at the same instant.
+   Under FIFO the waiter parks first and the signal lands; if the
+   signaller wins the tie the signal finds no waiter and is dropped, and
+   the waiter parks forever — a deadlock that exists on exactly one of
+   the two possible schedules. Seed sampling finds it with probability
+   1/2 per seed; the explorer proves both schedules. Runs on a bare sim
+   (no cluster) so the schedule tree is exactly the two fibers. *)
+
+let lost_signal ?sched tiebreak =
+  let sim = Sim.create ?sched () in
+  Sim.set_tiebreak sim tiebreak;
+  Invariant.enable (Invariant.for_sim sim);
+  let obs = ref [] in
+  let ready = Cond.create ~label:"lost-signal-ready" sim in
+  Sim.spawn sim ~name:"ls-waiter" (fun () ->
+      Cond.wait ready;
+      obs := "ls waiter woke" :: !obs);
+  Sim.spawn sim ~name:"ls-signaller" (fun () ->
+      Cond.signal ready;
+      obs := "ls signalled" :: !obs);
+  let stop = Sim.run sim in
+  {
+    fingerprint =
+      Fingerprint.capture ~observables:(List.sort compare !obs) sim ~subs:[];
+    violations = Invariant.violations (Invariant.for_sim sim);
+    deadlock = Deadlock.check sim;
+    leaks = [];
+    stop;
+  }
+
 (* --- registry --------------------------------------------------------- *)
+
+(* Exploration bounds. Micro fixtures get an unbounded preemption cap —
+   their whole schedule tree fits in the run budget, so the explorer can
+   claim exhaustiveness. Full protocol scenarios get a preemption-bounded
+   sweep (every schedule within [b_preemptions] deviations of FIFO),
+   with reduced-size workloads where each run would otherwise be too
+   slow to afford hundreds of schedules. *)
+
+(* Compact substrate profile for exploration runs: the object under
+   test is the schedule tree, not bulk payload, and the default
+   32-credit x 64 KB provisioning makes each of the hundreds of runs
+   fault megabytes of fresh buffer pages (the whole sweep went from
+   seconds to tens of seconds of kernel time without this). *)
+let explore_opts =
+  { Opt.data_streaming with Opt.credits = 4; buffer_size = 4_096 }
+
+let exhaustive runs = Some { b_runs = runs; b_preemptions = max_int; b_run = None }
+
+let preemption_bounded ?run ~runs ~preemptions () =
+  Some { b_runs = runs; b_preemptions = preemptions; b_run = run }
 
 let clean_suite =
   [
@@ -428,39 +493,63 @@ let clean_suite =
       sc_name = "eager-echo";
       sc_descr = "streaming echo through credit flow control, 2 clients";
       sc_buggy = false;
-      sc_run = eager_echo ?match_engine:None;
+      sc_run = eager_echo ?match_engine:None ?opts:None ?writes:None;
+      sc_bound =
+        preemption_bounded ~runs:160 ~preemptions:1
+          ~run:
+            (eager_echo ?match_engine:None ~opts:explore_opts
+               ~writes:[ 512; 64 ])
+          ();
     };
     {
       sc_name = "hashed-echo";
       sc_descr = "eager-echo over the hashed match engine: two RSS-steered \
                   receive queues with concurrent dispatcher fibers";
       sc_buggy = false;
-      sc_run = eager_echo ~match_engine:Uls_nic.Match_list.Hashed;
+      sc_run =
+        eager_echo ~match_engine:Uls_nic.Match_list.Hashed ?opts:None
+          ?writes:None;
+      sc_bound =
+        preemption_bounded ~runs:160 ~preemptions:1
+          ~run:
+            (eager_echo ~match_engine:Uls_nic.Match_list.Hashed
+               ~opts:explore_opts ~writes:[ 512; 64 ])
+          ();
     };
     {
       sc_name = "dg-rendezvous";
       sc_descr = "datagram large messages over the request/grant path";
       sc_buggy = false;
       sc_run = dg_rendezvous;
+      sc_bound = None;
     };
     {
       sc_name = "connect-churn";
       sc_descr = "connect/transfer/close cycles reclaim all descriptors";
       sc_buggy = false;
-      sc_run = connect_churn;
+      sc_run = connect_churn ?opts:None;
+      sc_bound =
+        preemption_bounded ~runs:160 ~preemptions:1
+          ~run:(connect_churn ~opts:explore_opts)
+          ();
     };
     {
       sc_name = "rendezvous-grants";
       sc_descr = "raw-EMP grant protocol with per-request grant routing";
       sc_buggy = false;
       sc_run = grant_fixture ~routed:true;
+      sc_bound = preemption_bounded ~runs:256 ~preemptions:2 ();
     };
     {
       sc_name = "rings-firehose";
       sc_descr = "two producers batch-submitting into one shared tx ring, \
                   one reaper retiring completions";
       sc_buggy = false;
-      sc_run = rings_firehose;
+      sc_run = rings_firehose ?msgs:None ?batch:None;
+      sc_bound =
+        preemption_bounded ~runs:160 ~preemptions:1
+          ~run:(rings_firehose ~msgs:6 ~batch:2)
+          ();
     };
     {
       sc_name = "fabric-churn";
@@ -468,6 +557,7 @@ let clean_suite =
                   completion counts are schedule-independent";
       sc_buggy = false;
       sc_run = fabric_churn;
+      sc_bound = None;
     };
   ]
 
@@ -479,6 +569,16 @@ let buggy_suite =
         "re-introduced PR 2 bug: grants popped from one shared mailbox";
       sc_buggy = true;
       sc_run = grant_fixture ~routed:false;
+      sc_bound = preemption_bounded ~runs:256 ~preemptions:2 ();
+    };
+    {
+      sc_name = "lost-signal";
+      sc_descr =
+        "lost-wakeup fixture: a signal that fires before its waiter parks \
+         is dropped — deadlock on exactly one of two schedules";
+      sc_buggy = true;
+      sc_run = lost_signal;
+      sc_bound = exhaustive 64;
     };
   ]
 

@@ -8,7 +8,10 @@
     a {e buggy} fixture encodes a known bug class (re-introduced
     deliberately) that the detector must keep catching. *)
 
-type tiebreak = [ `Fifo | `Seeded_shuffle of int ]
+type tiebreak = Uls_engine.Sim.tiebreak_spec
+(** [`Fifo], [`Seeded_shuffle seed] (the sampling detector), or
+    [`Controlled choose] (the systematic explorer's instrument — see
+    {!Uls_engine.Sim.set_tiebreak}). *)
 
 type outcome = {
   fingerprint : Fingerprint.t;
@@ -18,6 +21,18 @@ type outcome = {
   leaks : Sanitizer.finding list;
   stop : [ `Quiescent | `Time_limit | `Stopped ];
 }
+
+type bound = {
+  b_runs : int;  (** explorer schedule budget *)
+  b_preemptions : int;
+      (** max deviations from FIFO per schedule; [max_int] lets the
+          explorer drain the whole tree and claim exhaustiveness *)
+  b_run : (?sched:[ `Heap | `Wheel ] -> tiebreak -> outcome) option;
+      (** reduced-size variant of the workload for exploration (each of
+          hundreds of schedules re-runs the scenario); [None] explores
+          [sc_run] itself *)
+}
+(** A scenario's opt-in to systematic exploration ({!Explore}). *)
 
 type t = {
   sc_name : string;
@@ -29,6 +44,10 @@ type t = {
       (** [sched] selects the simulator event-queue implementation
           (default binary heap); dispatch order is identical either
           way, so fingerprints must not depend on it *)
+  sc_bound : bound option;
+      (** [None]: the scenario is not explorable (e.g. fabric-churn,
+          whose fleet driver owns its own sim) and [races --explore]
+          skips it *)
 }
 
 val clean_suite : t list
@@ -40,8 +59,10 @@ val clean_suite : t list
     report). *)
 
 val buggy_suite : t list
-(** Seeded regressions: currently the PR 2 shared-grant-queue bug,
-    re-introduced in a raw-EMP fixture. *)
+(** Seeded regressions: the PR 2 shared-grant-queue bug re-introduced in
+    a raw-EMP fixture, and a lost-wakeup fixture whose deadlock exists
+    on exactly one of two schedules (the explorer's exhaustive-proof
+    demo). *)
 
 val all : t list
 

@@ -5,7 +5,7 @@ type t
 
 val create :
   ?model:Uls_host.Cost_model.t ->
-  ?tiebreak:[ `Fifo | `Seeded_shuffle of int ] ->
+  ?tiebreak:Uls_engine.Sim.tiebreak_spec ->
   ?match_engine:Uls_nic.Match_list.engine ->
   ?sched:[ `Heap | `Wheel ] ->
   n:int ->

@@ -36,6 +36,7 @@ type row = {
   events : int;
   elapsed_s : float;
   events_per_sec : float;
+  minor_words_per_event : float;
 }
 
 let sched_name = function `Heap -> "heap" | `Wheel -> "wheel"
@@ -70,9 +71,11 @@ let run_shape ~sched sh =
   let sim = Sim.create ~sched () in
   install sim sh;
   let t0 = Sys.time () in
+  let g0 = Gc.minor_words () in
   (match Sim.run sim with
   | `Quiescent -> ()
   | `Time_limit | `Stopped -> failwith "Engine_bench: run did not quiesce");
+  let gained = Gc.minor_words () -. g0 in
   let elapsed = Sys.time () -. t0 in
   let events = Sim.events_executed sim in
   {
@@ -83,6 +86,8 @@ let run_shape ~sched sh =
     elapsed_s = elapsed;
     events_per_sec =
       (if elapsed > 0. then float_of_int events /. elapsed else 0.);
+    minor_words_per_event =
+      (if events > 0 then gained /. float_of_int events else 0.);
   }
 
 let run_all () =

@@ -40,6 +40,13 @@ type row = {
   events : int;  (** {!Uls_engine.Sim.events_executed} — deterministic *)
   elapsed_s : float;  (** process CPU seconds *)
   events_per_sec : float;
+  minor_words_per_event : float;
+      (** [Gc.minor_words] gained across the run divided by events
+          dispatched. The steady-state cost is the per-cycle closures the
+          workload itself arms; the dispatch loop contributes nothing, so
+          a rise here means the engine hot path started allocating (the
+          allocation-sanitizer gate in [engine --check] enforces a
+          ceiling). *)
 }
 
 val sched_name : sched -> string

@@ -28,7 +28,7 @@ type config = {
   connect_retries : int;
   kill : (int * Time.ns) option;
   drain : (int * Time.ns) option;
-  tiebreak : [ `Fifo | `Seeded_shuffle of int ] option;
+  tiebreak : Uls_engine.Sim.tiebreak_spec option;
   time_limit : Time.ns option;
   match_engine : Uls_nic.Match_list.engine;
   event_sched : [ `Heap | `Wheel ];
@@ -197,7 +197,7 @@ let run ?on_metrics (cfg : config) =
   let lat = Stats.Summary.create () in
   let t_first = ref max_int and t_last = ref 0 in
   let finished = ref 0 in
-  let finished_c = Cond.create sim in
+  let finished_c = Cond.create ~label:"fleet:finished" sim in
   let rngs =
     let root = Rng.create ~seed:cfg.seed in
     Array.init (max 1 cfg.conns) (fun _ -> Rng.split root)

@@ -59,7 +59,7 @@ type config = {
           virtual time until past the end of the run *)
   drain : (int * Uls_engine.Time.ns) option;
       (** gracefully drain this cell at this virtual time *)
-  tiebreak : [ `Fifo | `Seeded_shuffle of int ] option;
+  tiebreak : Uls_engine.Sim.tiebreak_spec option;
       (** simulator dispatch tie-break (race-detector hook) *)
   time_limit : Uls_engine.Time.ns option;
       (** virtual-time hang bound; default {!liveness_bound} *)

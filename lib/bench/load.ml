@@ -137,7 +137,8 @@ let run ?on_metrics cfg =
      attempts (success or failure); closed-loop connections hold until
      everyone arrived, so [peak_open] proves simultaneous liveness. *)
   let arrived = ref 0 and finished = ref 0 in
-  let arrived_c = Cond.create sim and finished_c = Cond.create sim in
+  let arrived_c = Cond.create ~label:"load:arrived" sim
+  and finished_c = Cond.create ~label:"load:finished" sim in
   let record_latency t0 =
     let now = Sim.now sim in
     Stats.Summary.add lat (float_of_int (now - t0));
@@ -279,7 +280,9 @@ let run ?on_metrics cfg =
     done
   | Open rate ->
     let total = cfg.conns * cfg.requests_per_conn in
-    let jobs : Time.ns option Mailbox.t = Mailbox.create sim in
+    let jobs : Time.ns option Mailbox.t =
+      Mailbox.create ~label:"load:open-arrivals" sim
+    in
     let arrival_rng = Rng.create ~seed:(cfg.seed lxor 0x0a51f00d) in
     Sim.spawn sim ~name:"load-arrivals" (fun () ->
         (* arrivals start once the pool actually exists *)

@@ -82,7 +82,9 @@ let make_nic_ops t =
       let atag = nic_tag ~seq ~phase:0 and rtag = nic_tag ~seq ~phase:1 in
       let kids = Group.Tree.children ~root:0 ~size rank in
       let finished = ref false in
-      let cond = Cond.create t.sim in
+      let cond =
+        Cond.create ~label:(Printf.sprintf "coll:r%d barrier" rank) t.sim
+      in
       let release_frames _ =
         List.map
           (fun c -> Coll_wire.frame ~src:my_node ~dst:(node c) ~tag:rtag "")
@@ -138,7 +140,9 @@ let make_nic_ops t =
       else begin
         let p = Option.get (Group.Tree.parent ~root ~size rank) in
         let result = ref None in
-        let cond = Cond.create t.sim in
+        let cond =
+          Cond.create ~label:(Printf.sprintf "coll:r%d bcast" rank) t.sim
+        in
         Uls_nic.Tigon.post_forward nic ~src:(node p) ~tag:btag ~need:1
           ~deliver:(fun fr ->
             let body = match fr with Some f -> Coll_wire.body f | None -> "" in

@@ -42,12 +42,26 @@ type nic_ops = {
   nic_bcast : seq:int -> root:int -> max:int -> string -> string option;
 }
 
+(* Metric handles resolved once at construction — collectives sit on
+   the hot path, so per-call name lookups are banned (ulslint
+   metrics-name-lookup). *)
+type counters = {
+  hc_barrier : Stats.Counter.t;
+  hc_bcast : Stats.Counter.t;
+  hc_scatter : Stats.Counter.t;
+  hc_gather : Stats.Counter.t;
+  hc_allgather : Stats.Counter.t;
+  hc_reduce : Stats.Counter.t;
+  hc_allreduce : Stats.Counter.t;
+  hh_rounds : Stats.Summary.t;
+}
+
 type t = {
   tr : transport;
   nic : nic_ops option;
   mutable seq : int;
   mutable last_rounds : int;
-  metrics : Metrics.t option;
+  hot : counters option;
   trace : Trace.t option;
 }
 
@@ -59,7 +73,22 @@ let create ?nic ?sim tr =
     nic;
     seq = 0;
     last_rounds = 0;
-    metrics = Option.map Metrics.for_sim sim;
+    hot =
+      Option.map
+        (fun sim ->
+          let metrics = Metrics.for_sim sim in
+          let counter name = Metrics.counter metrics ~node:tr.rank name in
+          {
+            hc_barrier = counter "coll.barrier";
+            hc_bcast = counter "coll.bcast";
+            hc_scatter = counter "coll.scatter";
+            hc_gather = counter "coll.gather";
+            hc_allgather = counter "coll.allgather";
+            hc_reduce = counter "coll.reduce";
+            hc_allreduce = counter "coll.allreduce";
+            hh_rounds = Metrics.histogram metrics ~node:tr.rank "coll.rounds";
+          })
+        sim;
     trace = Option.map Trace.for_sim sim;
   }
 
@@ -70,7 +99,7 @@ let last_rounds t = t.last_rounds
 (* Wrap one collective in a Collective-layer span (when the transport
    wired a simulation in) and record the per-op round count — the
    quantity the algorithm families trade against each other. *)
-let observed t name alg f =
+let observed t name alg sel f =
   let r =
     match t.trace with
     | None -> f ()
@@ -79,12 +108,11 @@ let observed t name alg f =
         ~args:[ ("alg", algorithm_name alg) ]
         f
   in
-  (match t.metrics with
+  (match t.hot with
   | None -> ()
-  | Some metrics ->
-    Metrics.incr metrics ~node:t.tr.rank ("coll." ^ name);
-    Metrics.observe metrics ~node:t.tr.rank "coll.rounds"
-      (float_of_int t.last_rounds));
+  | Some h ->
+    Stats.Counter.incr (sel h);
+    Stats.Summary.add h.hh_rounds (float_of_int t.last_rounds));
   r
 
 (* Every collective consumes one sequence number; ranks stay in lockstep
@@ -203,7 +231,7 @@ let barrier_dissemination t ~seq =
   done
 
 let barrier ?(alg = Binomial_tree) t =
-  observed t "barrier" alg @@ fun () ->
+  observed t "barrier" alg (fun h -> h.hc_barrier) @@ fun () ->
   let seq = next_seq t in
   if t.tr.size = 1 then ()
   else
@@ -247,7 +275,7 @@ let bcast ?(alg = Binomial_tree) t ~root ~max data =
   check_root t root;
   if t.tr.rank = root && String.length data > max then
     invalid_arg "Group.bcast: data longer than max";
-  observed t "bcast" alg @@ fun () ->
+  observed t "bcast" alg (fun h -> h.hc_bcast) @@ fun () ->
   let seq = next_seq t in
   if t.tr.size = 1 then data
   else
@@ -314,7 +342,7 @@ let scatter ?(alg = Binomial_tree) t ~root ~max parts =
           invalid_arg "Group.scatter: part longer than max")
       parts
   end;
-  observed t "scatter" alg @@ fun () ->
+  observed t "scatter" alg (fun h -> h.hc_scatter) @@ fun () ->
   let seq = next_seq t in
   if t.tr.size = 1 then parts.(0)
   else
@@ -373,7 +401,7 @@ let gather ?(alg = Binomial_tree) t ~root ~max data =
   check_root t root;
   if String.length data > max then
     invalid_arg "Group.gather: data longer than max";
-  observed t "gather" alg @@ fun () ->
+  observed t "gather" alg (fun h -> h.hc_gather) @@ fun () ->
   let seq = next_seq t in
   if t.tr.size = 1 then Some [| data |]
   else
@@ -426,7 +454,7 @@ let allgather_gather_bcast t ~seq ~gather_alg ~bcast_alg ~max data =
 let allgather ?(alg = Binomial_tree) t ~max data =
   if String.length data > max then
     invalid_arg "Group.allgather: data longer than max";
-  observed t "allgather" alg @@ fun () ->
+  observed t "allgather" alg (fun h -> h.hc_allgather) @@ fun () ->
   let seq = next_seq t in
   if t.tr.size = 1 then [| data |]
   else
@@ -484,7 +512,7 @@ let reduce ?(alg = Binomial_tree) t ~op ~root ~max data =
   check_root t root;
   if String.length data > max then
     invalid_arg "Group.reduce: data longer than max";
-  observed t "reduce" alg @@ fun () ->
+  observed t "reduce" alg (fun h -> h.hc_reduce) @@ fun () ->
   let seq = next_seq t in
   if t.tr.size = 1 then Some data
   else
@@ -567,7 +595,7 @@ let allreduce_rd t ~seq ~op ~max data =
 let allreduce ?(alg = Binomial_tree) t ~op ~max data =
   if String.length data > max then
     invalid_arg "Group.allreduce: data longer than max";
-  observed t "allreduce" alg @@ fun () ->
+  observed t "allreduce" alg (fun h -> h.hc_allreduce) @@ fun () ->
   let seq = next_seq t in
   if t.tr.size = 1 then data
   else

@@ -39,7 +39,13 @@ let connect_mesh sim stack ~nodes ~rank ~base_port =
   if rank < 0 || rank >= size then invalid_arg "Sockets_group.connect_mesh";
   let peers = Array.make size None in
   let mk stream =
-    { stream; rbuf = ""; stash = []; reading = false; cond = Cond.create sim }
+    {
+      stream;
+      rbuf = "";
+      stash = [];
+      reading = false;
+      cond = Cond.create ~label:(Printf.sprintf "sockets-group:r%d peer" rank) sim;
+    }
   in
   if size > 1 then begin
     let listener =

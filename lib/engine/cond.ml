@@ -6,11 +6,14 @@ type waiter = {
 
 type t = {
   sim : Sim.t;
+  uid : int;  (* sync identity for happens-before tracking *)
   label : string;
   queue : waiter Queue.t;
 }
 
-let create ?(label = "cond") sim = { sim; label; queue = Queue.create () }
+let create ?(label = "cond") sim =
+  { sim; uid = Sim.new_sync_uid sim; label; queue = Queue.create () }
+
 let label t = t.label
 
 let waiters t =
@@ -38,9 +41,12 @@ let enqueue t resume =
   w
 
 let wait t =
-  Sim.suspend t.sim ~label:t.label (fun resume -> ignore (enqueue t resume))
+  Sim.note_op t.sim Op_cond_wait t.uid t.label;
+  Sim.suspend t.sim ~label:t.label (fun resume -> ignore (enqueue t resume));
+  Sim.note_op t.sim Op_cond_wake t.uid t.label
 
 let wait_timeout t timeout =
+  Sim.note_op t.sim Op_cond_wait t.uid t.label;
   let cell = ref None in
   Sim.suspend t.sim ~label:t.label (fun resume ->
       let w = enqueue t resume in
@@ -54,8 +60,10 @@ let wait_timeout t timeout =
             w.resume ()
           end));
   match !cell with
-  | Some w when w.timed_out -> `Timeout
-  | Some _ -> `Ok
+  | Some w when w.timed_out -> `Timeout  (* no wake edge: nobody signalled *)
+  | Some _ ->
+    Sim.note_op t.sim Op_cond_wake t.uid t.label;
+    `Ok
   | None ->
     (* The suspend registration runs before the fiber can be resumed, so
        the cell is always set by the time the fiber continues. *)
@@ -65,6 +73,7 @@ let wait_timeout t timeout =
          t.label)
 
 let signal t =
+  Sim.note_op t.sim Op_cond_signal t.uid t.label;
   let rec pop () =
     match Queue.take_opt t.queue with
     | None -> ()
@@ -78,6 +87,7 @@ let signal t =
   pop ()
 
 let broadcast t =
+  Sim.note_op t.sim Op_cond_broadcast t.uid t.label;
   let rec drain () =
     match Queue.take_opt t.queue with
     | None -> ()

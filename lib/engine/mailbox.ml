@@ -1,17 +1,26 @@
 type 'a t = {
   sim : Sim.t;
+  uid : int;  (* sync identity for happens-before tracking *)
+  label : string;
   queue : 'a Queue.t;
   nonempty : Cond.t;
 }
 
 let create ?(label = "mailbox") sim =
-  { sim; queue = Queue.create (); nonempty = Cond.create ~label sim }
+  { sim; uid = Sim.new_sync_uid sim; label; queue = Queue.create ();
+    nonempty = Cond.create ~label sim }
 
 let send t v =
+  Sim.note_op t.sim Op_mailbox_send t.uid t.label;
   Queue.push v t.queue;
   Cond.signal t.nonempty
 
-let try_recv t = Queue.take_opt t.queue
+let try_recv t =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some _ as r ->
+    Sim.note_op t.sim Op_mailbox_recv t.uid t.label;
+    r
 let peek t = Queue.peek_opt t.queue
 let length t = Queue.length t.queue
 let is_empty t = Queue.is_empty t.queue
@@ -21,7 +30,9 @@ let is_empty t = Queue.is_empty t.queue
 
 let rec recv t =
   match Queue.take_opt t.queue with
-  | Some v -> v
+  | Some v ->
+    Sim.note_op t.sim Op_mailbox_recv t.uid t.label;
+    v
   | None ->
     Cond.wait t.nonempty;
     recv t
@@ -29,14 +40,14 @@ let rec recv t =
 let recv_timeout t timeout =
   let deadline = Sim.now t.sim + timeout in
   let rec loop () =
-    match Queue.take_opt t.queue with
+    match try_recv t with
     | Some v -> Some v
     | None ->
       let remaining = deadline - Sim.now t.sim in
       if remaining <= 0 then None
       else
         match Cond.wait_timeout t.nonempty remaining with
-        | `Timeout -> Queue.take_opt t.queue
+        | `Timeout -> try_recv t
         | `Ok -> loop ()
   in
   loop ()

@@ -1,5 +1,6 @@
 type t = {
   sim : Sim.t;
+  uid : int;  (* sync identity for happens-before tracking *)
   name : string;
   mutable free_at : Time.ns;
   mutable busy : Time.ns;
@@ -7,10 +8,13 @@ type t = {
   mutable queue_delay : Time.ns;
 }
 
-let create sim ~name = { sim; name; free_at = 0; busy = 0; jobs = 0; queue_delay = 0 }
+let create sim ~name =
+  { sim; uid = Sim.new_sync_uid sim; name; free_at = 0; busy = 0; jobs = 0;
+    queue_delay = 0 }
 
 let completion_after t d =
   if d < 0 then invalid_arg "Resource: negative duration";
+  Sim.note_op t.sim Op_resource_use t.uid t.name;
   let now = Sim.now t.sim in
   let start = max now t.free_at in
   t.free_at <- start + d;

@@ -20,10 +20,34 @@ let rec dummy_task =
    priority, so the [seq] fallback reproduces strict scheduling order;
    the seeded shuffle draws a random priority per task, perturbing the
    order of simultaneous events only — the race detector's schedule
-   perturbation (timestamps themselves never move). *)
+   perturbation (timestamps themselves never move). [Controlled] hands
+   each same-timestamp tie to an external chooser as an explicit
+   decision point: the systematic explorer's instrument. *)
 type tiebreak =
   | Fifo
   | Shuffle of Rng.t
+  | Controlled of (int array -> int)
+
+(* Sync-point instrumentation. Constructors are argless so classifying
+   an operation never allocates; the entire hooks-off cost is one field
+   read and branch per sync operation ([note_op]). *)
+type op_kind =
+  | Op_spawn
+  | Op_cond_wait
+  | Op_cond_wake
+  | Op_cond_signal
+  | Op_cond_broadcast
+  | Op_mailbox_send
+  | Op_mailbox_recv
+  | Op_resource_use
+
+type hooks = {
+  on_op : op_kind -> int -> string -> unit;
+      (* kind, sync-object uid, label; the acting fiber is
+         [current_fiber_id] at call time *)
+  on_spawn : parent:int -> child:int -> name:string -> unit;
+  on_dispatch : seq:int -> time:Time.ns -> unit;
+}
 
 type park = {
   pk_fiber : string;
@@ -58,6 +82,10 @@ type t = {
   mutable executed : int;
   mutable tiebreak : tiebreak;
   mutable cur_fiber : string;
+  mutable cur_fiber_id : int;  (* 0 = main; deterministic spawn order *)
+  mutable next_fiber_id : int;
+  mutable next_sync_uid : int;  (* Cond/Mailbox/Resource identities *)
+  mutable hooks : hooks option;
   parked : (int, park) Hashtbl.t;
   mutable next_park : int;
   mutable free : task;  (* head of the recycled task-cell list *)
@@ -75,9 +103,15 @@ let compare_task a b =
 
 let next_uid = ref 0
 
+(* Module-level creation hook: the analysis layer attaches happens-before
+   tracking to sims it cannot construct itself (scenarios build their own
+   clusters deep inside [sc_run]). Unset in normal operation. *)
+let create_hook : (t -> unit) option ref = ref None
+let set_create_hook h = create_hook := h
+
 let create ?(sched = `Heap) () =
   incr next_uid;
-  {
+  let t = {
     uid = !next_uid;
     q =
       (match sched with
@@ -94,11 +128,18 @@ let create ?(sched = `Heap) () =
     executed = 0;
     tiebreak = Fifo;
     cur_fiber = "main";
+    cur_fiber_id = 0;
+    next_fiber_id = 0;
+    next_sync_uid = 0;
+    hooks = None;
     parked = Hashtbl.create 16;
     next_park = 0;
     free = dummy_task;
     pooled = 0;
   }
+  in
+  (match !create_hook with None -> () | Some f -> f t);
+  t
 
 let uid t = t.uid
 let now t = t.now
@@ -107,11 +148,25 @@ let live_fibers t = t.live
 let events_executed t = t.executed
 let stop t = t.stopped <- true
 let current_fiber t = t.cur_fiber
+let current_fiber_id t = t.cur_fiber_id
 let sched t = match t.q with Q_heap _ -> `Heap | Q_wheel _ -> `Wheel
+
+type tiebreak_spec =
+  [ `Fifo | `Seeded_shuffle of int | `Controlled of (int array -> int) ]
 
 let set_tiebreak t = function
   | `Fifo -> t.tiebreak <- Fifo
   | `Seeded_shuffle seed -> t.tiebreak <- Shuffle (Rng.create ~seed)
+  | `Controlled choose -> t.tiebreak <- Controlled choose
+
+let set_hooks t h = t.hooks <- h
+
+let new_sync_uid t =
+  t.next_sync_uid <- t.next_sync_uid + 1;
+  t.next_sync_uid
+
+let note_op t kind uid label =
+  match t.hooks with None -> () | Some h -> h.on_op kind uid label
 
 let blocked_report t =
   Hashtbl.fold
@@ -158,7 +213,9 @@ let schedule t ~time run =
   if time < t.now then invalid_arg "Sim: scheduling in the past";
   t.seq <- t.seq + 1;
   let pri =
-    match t.tiebreak with Fifo -> 0 | Shuffle rng -> Rng.int rng 0x4000_0000
+    match t.tiebreak with
+    | Fifo | Controlled _ -> 0  (* Controlled: FIFO order inside a tie *)
+    | Shuffle rng -> Rng.int rng 0x4000_0000
   in
   let cell = alloc_task t ~time ~pri ~seq:t.seq ~run in
   match t.q with
@@ -176,7 +233,7 @@ let delay t d = if d > 0 then Effect.perform (Delay (t, d))
 let suspend t ?(label = "suspend") register =
   Effect.perform (Suspend (t, label, register))
 
-let run_fiber t ~daemon name f =
+let run_fiber t ~daemon ~fid name f =
   let open Effect.Deep in
   (* Exactly-once exit bookkeeping, shared by the normal return, an
      uncaught exception in the fiber body, and a failure inside a
@@ -191,6 +248,7 @@ let run_fiber t ~daemon name f =
   in
   let body () =
     t.cur_fiber <- name;
+    t.cur_fiber_id <- fid;
     (try f ()
      with e ->
        finish ();
@@ -205,6 +263,7 @@ let run_fiber t ~daemon name f =
           assert (t' == t);
           schedule t ~time:(t.now + d) (fun () ->
               t.cur_fiber <- name;
+              t.cur_fiber_id <- fid;
               continue k ()))
     | Suspend (t', label, register) ->
       Some
@@ -227,6 +286,7 @@ let run_fiber t ~daemon name f =
               unpark ();
               schedule t ~time:t.now (fun () ->
                   t.cur_fiber <- name;
+                  t.cur_fiber_id <- fid;
                   continue k ())
             end
           in
@@ -246,12 +306,42 @@ let run_fiber t ~daemon name f =
 
 let spawn_at t ?(name = "fiber") ?(daemon = false) time f =
   t.live <- t.live + 1;
-  schedule t ~time (fun () -> run_fiber t ~daemon name f)
+  t.next_fiber_id <- t.next_fiber_id + 1;
+  let fid = t.next_fiber_id in
+  (match t.hooks with
+  | None -> ()
+  | Some h -> h.on_spawn ~parent:t.cur_fiber_id ~child:fid ~name);
+  schedule t ~time (fun () -> run_fiber t ~daemon ~fid name f)
 
 let spawn t ?name ?daemon f = spawn_at t ?name ?daemon t.now f
 
 let q_peek t = match t.q with Q_heap h -> Heap.peek h | Q_wheel w -> Wheel.peek w
 let q_pop t = match t.q with Q_heap h -> Heap.pop h | Q_wheel w -> Wheel.pop w
+let q_push t cell =
+  match t.q with Q_heap h -> Heap.push h cell | Q_wheel w -> Wheel.push w cell
+
+(* Under [Controlled], every task sharing the minimum timestamp is popped
+   and the chooser picks which runs next (by index into the seq array,
+   which is in FIFO order since Controlled pri is always 0); the rest are
+   re-inserted untouched. A singleton tie is not a decision point. Due
+   tasks re-insert into the wheel's exact-order near-future heap, so
+   push-back is order-safe on both schedulers. *)
+let pop_controlled t first choose =
+  let rec gather acc =
+    match q_peek t with
+    | Some tk when tk.time = first.time ->
+      ignore (q_pop t);
+      gather (tk :: acc)
+    | _ -> List.rev acc
+  in
+  match gather [] with
+  | [] -> first
+  | rest ->
+    let all = Array.of_list (first :: rest) in
+    let idx = choose (Array.map (fun (tk : task) -> tk.seq) all) in
+    let idx = if idx < 0 || idx >= Array.length all then 0 else idx in
+    Array.iteri (fun i tk -> if i <> idx then q_push t tk) all;
+    all.(idx)
 
 let run ?until t =
   t.stopped <- false;
@@ -275,8 +365,16 @@ let run ?until t =
           running := false
         | _ ->
           ignore (q_pop t);
+          let task =
+            match t.tiebreak with
+            | Fifo | Shuffle _ -> task
+            | Controlled choose -> pop_controlled t task choose
+          in
           t.now <- task.time;
           t.executed <- t.executed + 1;
+          (match t.hooks with
+          | None -> ()
+          | Some h -> h.on_dispatch ~seq:task.seq ~time:task.time);
           (* Recycle the cell before running: the closure is extracted
              first, so even a raising task doesn't leak its cell, and
              tasks the closure schedules can safely reuse it. *)

@@ -34,13 +34,26 @@ val uid : t -> int
 
 val now : t -> Time.ns
 
-val set_tiebreak : t -> [ `Fifo | `Seeded_shuffle of int ] -> unit
+type tiebreak_spec =
+  [ `Fifo | `Seeded_shuffle of int | `Controlled of (int array -> int) ]
+
+val set_tiebreak : t -> tiebreak_spec -> unit
 (** Dispatch policy for same-timestamp tasks. [`Fifo] (the default)
     runs them in scheduling order; [`Seeded_shuffle seed] assigns each
     subsequently scheduled task a priority drawn from a seeded PRNG, so
     simultaneous events dispatch in a reproducible shuffled order. Same
     seed, same schedule — a divergence found under one seed replays
-    deterministically. Affects only tasks scheduled after the call. *)
+    deterministically. Affects only tasks scheduled after the call.
+
+    [`Controlled choose] is the systematic explorer's instrument: each
+    time two or more tasks are due at the same instant, the whole tie is
+    handed to [choose] as an array of task sequence numbers in FIFO
+    order, and the returned index picks which runs next (out-of-range
+    indices fall back to 0). The unchosen tasks are re-enqueued
+    untouched and the tie is re-offered — minus the dispatched task —
+    at the next step, so a chooser replaying a recorded decision list
+    visits the exact same schedule. A singleton is not a decision
+    point, and [choose] must not perform effects. *)
 
 val spawn : t -> ?name:string -> ?daemon:bool -> (unit -> unit) -> unit
 (** Start a fiber at the current virtual time. [daemon] marks
@@ -98,3 +111,59 @@ val current_fiber : t -> string
 
 val live_fibers : t -> int
 val events_executed : t -> int
+
+(** {1 Sync-point instrumentation}
+
+    Hooks let the analysis layer observe every synchronisation operation
+    (for vector-clock happens-before tracking) and every dispatched task
+    (for per-task footprints) without the engine knowing anything about
+    clocks. With hooks unset — the default, and the only configuration
+    benchmarks and production scenarios run — each instrumentation site
+    costs one field read and branch and allocates nothing: {!op_kind}
+    constructors are argless and [note_op] takes the uid and label as
+    bare arguments. *)
+
+type op_kind =
+  | Op_spawn
+  | Op_cond_wait  (** fiber is about to park on a {!Cond} *)
+  | Op_cond_wake  (** fiber resumed from a {!Cond} wait (acquire edge) *)
+  | Op_cond_signal  (** release edge to the woken waiter *)
+  | Op_cond_broadcast  (** release edge to every woken waiter *)
+  | Op_mailbox_send  (** release edge to the message's receiver *)
+  | Op_mailbox_recv  (** acquire edge from the message's sender *)
+  | Op_resource_use  (** serialization point: acquire + release *)
+
+type hooks = {
+  on_op : op_kind -> int -> string -> unit;
+      (** [on_op kind uid label]: a sync operation on object [uid] by
+          the fiber [current_fiber_id] (labels name the object in
+          reports) *)
+  on_spawn : parent:int -> child:int -> name:string -> unit;
+      (** fiber creation: the program-order edge from parent to child *)
+  on_dispatch : seq:int -> time:Time.ns -> unit;
+      (** a task starts running; [seq] is its stable schedule number *)
+}
+
+val set_hooks : t -> hooks option -> unit
+val note_op : t -> op_kind -> int -> string -> unit
+(** Used by {!Cond}/{!Mailbox}/{!Resource} at each sync point; no-op
+    (one branch, zero allocation) when hooks are unset. *)
+
+val current_fiber_id : t -> int
+(** Dense deterministic id of the executing fiber (0 = main; spawn
+    order thereafter). Stable across runs of the same program, so
+    vector clocks can be arrays indexed by fiber id. Plain {!at}
+    callbacks do not reset it and inherit the last running fiber's id —
+    sync operations from bare callbacks are rare and misattribution
+    only weakens (never falsifies) a happens-before edge report. *)
+
+val new_sync_uid : t -> int
+(** Fresh deterministic identity for a sync object ({!Cond},
+    {!Mailbox}, {!Resource}) within this sim. *)
+
+val set_create_hook : (t -> unit) option -> unit
+(** Module-level: called on every subsequently created sim. Lets the
+    analysis layer attach {!hooks} to simulators it cannot construct
+    itself (scenarios build their own clusters inside their run
+    function). Unset it ([None]) as soon as the target sim exists; not
+    for use outside the analysis layer. *)

@@ -231,7 +231,7 @@ let create ?(match_engine = Match_list.Linear) sim model net ~node =
       coll_classify = (fun _ -> None);
       fwd_list = Match_list.create ~engine:match_engine ();
       fwd_pending = Vec.create ();
-      fwd_queue = Mailbox.create sim;
+      fwd_queue = Mailbox.create ~label:(name "fwd-queue") sim;
       coll_matched = 0;
       coll_forwarded = 0;
       coll_delivered = 0;

@@ -213,7 +213,10 @@ let create node nic ~cpu ~config =
       trace = Trace.for_sim (Node.sim node);
       handler = (fun ~src:_ _ -> ());
       pending = Queue.create ();
-      arrival = Cond.create (Node.sim node);
+      arrival =
+        Cond.create
+          ~label:(Printf.sprintf "ip:%d arrival" (Node.id node))
+          (Node.sim node);
       reasm = Hashtbl.create 16;
       next_ip_id = 0;
       delivered = 0;

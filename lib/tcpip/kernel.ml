@@ -202,7 +202,10 @@ let create node nic ~config =
       conns = Hashtbl.create 64;
       listeners = Hashtbl.create 16;
       udp_socks = Hashtbl.create 16;
-      activity = Cond.create (Node.sim node);
+      activity =
+        Cond.create
+          ~label:(Printf.sprintf "tcp:%d activity" (Node.id node))
+          (Node.sim node);
       next_port = 32_768;
       rsts_sent = 0;
     }
@@ -231,7 +234,10 @@ let listen t ~port ~backlog =
       l_backlog = max 1 backlog;
       accept_q = Queue.create ();
       l_pending = 0;
-      accept_c = Cond.create (sim t);
+      accept_c =
+        Cond.create
+          ~label:(Printf.sprintf "tcp:%d accept:%d" (node_id t) port)
+          (sim t);
       l_watchers = [];
       l_closed = false;
     }
@@ -302,7 +308,10 @@ let udp_bind t ~port =
       u_queue = Queue.create ();
       u_queued_bytes = 0;
       u_capacity = t.config.Config.rcvbuf;
-      u_cond = Cond.create (sim t);
+      u_cond =
+        Cond.create
+          ~label:(Printf.sprintf "udp:%d port:%d" (node_id t) port)
+          (sim t);
       u_closed = false;
       u_drops = 0;
     }

@@ -250,6 +250,112 @@ let test_fingerprint_stability () =
   check_bool "fingerprint carries content" true
     (An.Fingerprint.lines a.An.Scenarios.fingerprint <> [])
 
+(* --- systematic explorer ------------------------------------------------ *)
+
+let test_explore_schedule_id_roundtrip () =
+  let roundtrip a =
+    match An.Explore.parse_schedule_id (An.Explore.schedule_id a) with
+    | Some b -> check_bool "roundtrip" true (a = b)
+    | None -> Alcotest.fail "id failed to parse back"
+  in
+  roundtrip [||];
+  roundtrip [| 0; 0; 1 |];
+  roundtrip [| 0; 4; 0; 0; 1 |];
+  check_str "empty prefix is fifo" "fifo" (An.Explore.schedule_id [||]);
+  check_str "sparse form" "2:1" (An.Explore.schedule_id [| 0; 0; 1 |]);
+  check_bool "garbage rejected" true
+    (An.Explore.parse_schedule_id "2:x" = None)
+
+(* Satellite: a deadlock that exists only on a non-FIFO interleaving,
+   found exhaustively, reported with named wait-for edges. *)
+let test_explore_lost_signal_exhaustive () =
+  let v = An.Explore.explore (scenario "lost-signal") in
+  check_bool "explorer flags the lost wakeup" true (An.Explore.flagged v);
+  check_bool "coverage is exhaustive" true v.An.Explore.e_stats.An.Explore.st_exhaustive;
+  check_int "the space is exactly two schedules" 2
+    v.An.Explore.e_stats.An.Explore.st_runs;
+  check_bool "FIFO baseline itself is quiet" true
+    (v.An.Explore.e_baseline.An.Scenarios.deadlock = None);
+  match v.An.Explore.e_flagged with
+  | [ f ] ->
+    check_bool "found on a non-FIFO schedule" true
+      (f.An.Explore.fl_schedule <> "fifo");
+    (match f.An.Explore.fl_finding with
+    | An.Explore.Deadlocked rep ->
+      let rendered = An.Deadlock.render rep in
+      check_bool "wait-for edge names the fiber" true
+        (contains ~affix:"ls-waiter" rendered);
+      check_bool "wait-for edge names the condition" true
+        (contains ~affix:"lost-signal-ready" rendered)
+    | _ -> Alcotest.fail "expected a deadlock finding")
+  | fs -> Alcotest.failf "expected exactly one flagged schedule, got %d"
+            (List.length fs)
+
+(* The headline acceptance: shared-grant-queue found deterministically —
+   every explore call, not 11/16 seeds — with the racing pair named. *)
+let test_explore_catches_shared_grant_queue () =
+  let v = An.Explore.explore (scenario "shared-grant-queue") in
+  check_bool "flagged deterministically" true (An.Explore.flagged v);
+  let violating =
+    List.filter_map
+      (fun f ->
+        match f.An.Explore.fl_finding with
+        | An.Explore.Violating msg -> Some (f.An.Explore.fl_schedule, msg)
+        | _ -> None)
+      v.An.Explore.e_flagged
+  in
+  (match violating with
+  | (sched, msg) :: _ ->
+    check_bool "violation names the grant-routing invariant" true
+      (contains ~affix:"scenario.grant_routing" msg);
+    check_bool "schedule id recorded for replay" true (sched <> "");
+    (* Satellite: the schedule id carried by the finding reproduces it. *)
+    let outcome, _ =
+      An.Explore.replay (scenario "shared-grant-queue") ~schedule:sched
+    in
+    check_bool "replay by schedule id reproduces the violation" true
+      (List.exists
+         (fun viol -> viol.Invariant.v_name = "scenario.grant_routing")
+         outcome.An.Scenarios.violations);
+    (* And twice: schedule ids are deterministic coordinates. *)
+    let again, _ =
+      An.Explore.replay (scenario "shared-grant-queue") ~schedule:sched
+    in
+    check_str "replay is deterministic"
+      (An.Fingerprint.digest outcome.An.Scenarios.fingerprint)
+      (An.Fingerprint.digest again.An.Scenarios.fingerprint)
+  | [] -> Alcotest.fail "no violating schedule recorded");
+  (* The racing pair: the two conflicting operations with no
+     happens-before edge, by name. *)
+  check_bool "racing pair names the two writers on the shared queue" true
+    (List.exists
+       (fun (p : An.Hb.pair) ->
+         p.An.Hb.p_label = "shared-grant-queue"
+         && p.An.Hb.p_a_op = "Mailbox.recv"
+         && p.An.Hb.p_b_op = "Mailbox.recv"
+         && contains ~affix:"grant-writer" p.An.Hb.p_a_fiber
+         && contains ~affix:"grant-writer" p.An.Hb.p_b_fiber)
+       v.An.Explore.e_pairs)
+
+let test_explore_clean_scenario () =
+  (* A correct protocol scenario: every explored schedule converges to
+     the one fingerprint, no violations, no deadlock. *)
+  let v = An.Explore.explore ~max_runs:24 (scenario "rings-firehose") in
+  check_bool "clean" true (An.Explore.clean v);
+  check_int "all schedules reach the same end state" 1
+    v.An.Explore.e_stats.An.Explore.st_distinct_states
+
+let test_explore_controlled_fifo_parity () =
+  (* The all-defaults Controlled schedule (the explorer's baseline, with
+     happens-before tracking attached) must reproduce the plain Fifo
+     fingerprint bit-for-bit: instrumentation observes, never perturbs. *)
+  let sc = scenario "lost-signal" in
+  let plain = sc.An.Scenarios.sc_run `Fifo in
+  let v = An.Explore.explore sc in
+  check_str "controlled fifo == plain fifo"
+    (An.Fingerprint.digest plain.An.Scenarios.fingerprint)
+    (An.Fingerprint.digest v.An.Explore.e_baseline.An.Scenarios.fingerprint)
+
 let suites =
   [
     ( "analysis",
@@ -278,5 +384,15 @@ let suites =
           test_race_catches_shared_grant_queue;
         Alcotest.test_case "race: fingerprints deterministic per seed" `Quick
           test_fingerprint_stability;
+        Alcotest.test_case "explore: schedule ids roundtrip" `Quick
+          test_explore_schedule_id_roundtrip;
+        Alcotest.test_case "explore: lost signal found exhaustively" `Quick
+          test_explore_lost_signal_exhaustive;
+        Alcotest.test_case "explore: shared grant queue deterministic" `Quick
+          test_explore_catches_shared_grant_queue;
+        Alcotest.test_case "explore: clean scenario converges" `Quick
+          test_explore_clean_scenario;
+        Alcotest.test_case "explore: controlled fifo parity" `Quick
+          test_explore_controlled_fifo_parity;
       ] );
   ]
